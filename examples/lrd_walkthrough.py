@@ -1,0 +1,58 @@
+"""Walkthrough of the multilevel LRD decomposition (the paper's Figure 2).
+
+The paper illustrates the resistance embedding on a 14-node sparsifier: each
+LRD level contracts low-resistance clusters, the cluster indices across levels
+form each node's embedding vector, and the effective resistance between two
+nodes is bounded by the diameter of the first cluster they share.  This script
+reproduces that story on the same kind of graph and prints the embedding
+vectors, the per-level cluster structure, and the bound-vs-exact comparison
+for a few node pairs.
+
+Run with::
+
+    python examples/lrd_walkthrough.py
+"""
+
+from __future__ import annotations
+
+from repro.core import LRDConfig, ResistanceEmbedding, lrd_decompose
+from repro.graphs import paper_figure2_graph
+from repro.spectral import ExactResistanceCalculator
+
+
+def main() -> None:
+    sparsifier = paper_figure2_graph()
+    print(f"example sparsifier: {sparsifier.num_nodes} nodes, {sparsifier.num_edges} edges "
+          "(two 7-node clusters joined by a weak bridge)\n")
+
+    hierarchy = lrd_decompose(sparsifier, LRDConfig(resistance_method="exact", seed=0))
+    embedding = ResistanceEmbedding(hierarchy)
+
+    print("per-level cluster structure:")
+    for row in hierarchy.summary():
+        print(f"  level {row['level']}: {row['num_clusters']:2d} clusters, "
+              f"largest has {row['max_cluster_size']:2d} nodes, "
+              f"diameter threshold {row['diameter_threshold']:.3f}, "
+              f"max cluster diameter {row['max_cluster_diameter']:.3f}")
+
+    print("\nnode embedding vectors (cluster index per level):")
+    for node in range(sparsifier.num_nodes):
+        vector = ", ".join(str(int(v)) for v in embedding.vector(node))
+        print(f"  node {node:2d}: [{vector}]")
+
+    print("\nresistance estimates from the embedding vs exact values:")
+    calculator = ExactResistanceCalculator(sparsifier)
+    pairs = [(0, 1), (0, 6), (0, 13), (3, 9), (5, 9)]
+    print(f"  {'pair':>10} {'first common level':>20} {'bound':>8} {'exact':>8}")
+    for p, q in pairs:
+        level = hierarchy.first_common_level(p, q)
+        bound = embedding.estimate_resistance(p, q)
+        exact = calculator.resistance(p, q)
+        print(f"  ({p:2d}, {q:2d})   {str(level):>20} {bound:>8.3f} {exact:>8.3f}")
+    print("\nNodes in the same tight cluster share an index early (small bound);")
+    print("nodes on opposite sides of the bridge only meet at the coarsest level (large bound),")
+    print("exactly the behaviour sketched in Figure 2 of the paper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Plain-text table formatting for the benchmark CLI scripts."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+
+def format_value(value: object, precision: int = 3) -> str:
+    """Format one cell: floats get fixed precision, percentages stay raw."""
+    if value is None:
+        return "n/a"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "n/a"
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str],
+                 *, headers: Optional[Sequence[str]] = None, precision: int = 3) -> str:
+    """Render dictionaries as an aligned plain-text table.
+
+    Parameters
+    ----------
+    rows:
+        Sequence of dictionaries (e.g. ``record.as_dict()``).
+    columns:
+        Keys to show, in order.
+    headers:
+        Column titles; defaults to the keys themselves.
+    """
+    headers = list(headers) if headers is not None else list(columns)
+    if len(headers) != len(columns):
+        raise ValueError("headers and columns must have the same length")
+    table: List[List[str]] = [headers]
+    for row in rows:
+        table.append([format_value(row.get(column), precision) for column in columns])
+    widths = [max(len(table[r][c]) for r in range(len(table))) for c in range(len(columns))]
+    lines = []
+    for index, row_cells in enumerate(table):
+        line = "  ".join(cell.rjust(width) for cell, width in zip(row_cells, widths))
+        lines.append(line)
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def percent(value: float) -> str:
+    """Format a fraction as a percentage string (Table II style)."""
+    if value != value:
+        return "n/a"
+    return f"{100.0 * value:.1f}%"

@@ -1,0 +1,40 @@
+"""inGRASS core: LRD decomposition, resistance embedding, incremental updates."""
+
+from repro.core.config import InGrassConfig, LRDConfig
+from repro.core.distortion import (
+    DistortionEstimate,
+    estimate_distortions,
+    filter_by_threshold,
+    sort_by_distortion,
+)
+from repro.core.embedding import EmbeddingStats, ResistanceEmbedding
+from repro.core.filtering import FilterAction, FilterDecision, FilterSummary, SimilarityFilter
+from repro.core.hierarchy import ClusterHierarchy, LRDLevel
+from repro.core.incremental import InGrassSparsifier, IterationRecord
+from repro.core.lrd import lrd_decompose
+from repro.core.setup import SetupResult, run_setup
+from repro.core.update import UpdateResult, run_update
+
+__all__ = [
+    "InGrassConfig",
+    "LRDConfig",
+    "InGrassSparsifier",
+    "IterationRecord",
+    "lrd_decompose",
+    "ClusterHierarchy",
+    "LRDLevel",
+    "ResistanceEmbedding",
+    "EmbeddingStats",
+    "DistortionEstimate",
+    "estimate_distortions",
+    "sort_by_distortion",
+    "filter_by_threshold",
+    "SimilarityFilter",
+    "FilterAction",
+    "FilterDecision",
+    "FilterSummary",
+    "SetupResult",
+    "run_setup",
+    "UpdateResult",
+    "run_update",
+]

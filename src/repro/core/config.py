@@ -1,0 +1,121 @@
+"""Configuration dataclasses for the inGRASS core algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_positive, check_positive_int
+
+
+@dataclass
+class LRDConfig:
+    """Parameters of the multilevel low-resistance-diameter decomposition.
+
+    Attributes
+    ----------
+    initial_diameter:
+        Resistance-diameter threshold of the first level.  ``None`` picks the
+        median edge resistance of the initial sparsifier, which contracts
+        roughly half of the edges at level 0 — the behaviour the paper's
+        Figure 2 sketches.
+    growth_factor:
+        Multiplicative growth of the diameter threshold per level; the paper
+        doubles it (clusters roughly double in radius each level), giving the
+        ``O(log N)`` level count.
+    max_levels:
+        Hard cap on the number of levels (and therefore on the embedding
+        dimension).
+    min_clusters:
+        Decomposition stops once the coarsest level has at most this many
+        clusters.
+    resistance_method:
+        How edge effective resistances of the (contracted) sparsifier are
+        estimated at every level: ``"jl"`` (accurate, solver-based),
+        ``"krylov"`` (solver-free surrogate, the paper's equation (3)) or
+        ``"exact"`` (tests only).
+    resistance_order:
+        Embedding dimension / Krylov order for the approximate methods.
+    seed:
+        Seed for the stochastic pieces (random probes, tie-breaking).
+    """
+
+    initial_diameter: Optional[float] = None
+    growth_factor: float = 2.0
+    max_levels: int = 40
+    min_clusters: int = 1
+    resistance_method: str = "jl"
+    resistance_order: Optional[int] = None
+    seed: SeedLike = 0
+
+    def __post_init__(self) -> None:
+        if self.initial_diameter is not None:
+            check_positive(self.initial_diameter, "initial_diameter")
+        check_positive(self.growth_factor, "growth_factor")
+        if self.growth_factor <= 1.0:
+            raise ValueError(f"growth_factor must exceed 1, got {self.growth_factor}")
+        check_positive_int(self.max_levels, "max_levels")
+        check_positive_int(self.min_clusters, "min_clusters")
+        if self.resistance_method not in ("jl", "krylov", "exact"):
+            raise ValueError(f"unknown resistance_method {self.resistance_method!r}")
+
+
+@dataclass
+class InGrassConfig:
+    """Parameters of the full inGRASS incremental sparsifier.
+
+    Attributes
+    ----------
+    target_condition_number:
+        Target κ(L_G, L_H) used to pick the similarity filtering level
+        (Section III-C-2: the level whose largest cluster holds at most
+        ``target_condition_number / 2`` nodes).  ``None`` defers the choice to
+        :meth:`InGrassSparsifier.setup` callers, which typically pass the
+        measured condition number of the initial sparsifier.
+    lrd:
+        LRD decomposition parameters for the setup phase.
+    filtering_level:
+        Explicit filtering level override (mainly for tests and the ablation
+        benches); ``None`` derives it from ``target_condition_number``.
+    filtering_size_divisor:
+        The filtering level is the coarsest level whose largest cluster holds
+        at most ``target_condition_number / filtering_size_divisor`` nodes.
+        The paper uses 2; larger values pick a finer level, which admits more
+        edges but tracks the target condition number more tightly (see the
+        filtering-level ablation bench).
+    distortion_threshold:
+        New edges whose estimated spectral distortion falls below this value
+        are dropped outright (they cannot meaningfully improve κ).  Expressed
+        relative to the median estimated distortion of the batch; ``0``
+        disables the cut.
+    redistribute_intra_cluster_weight:
+        Whether the weight of a discarded intra-cluster edge is spread over
+        the sparsifier edges inside that cluster (Section III-C-2).  Disabling
+        it simply drops the edge; exposed for the ablation bench.
+    max_fill_fraction:
+        Upper bound on how many of the streamed edges may be added per update
+        call, as a fraction of the batch (safety valve; 1.0 = unlimited).
+    seed:
+        Seed for stochastic components.
+    """
+
+    target_condition_number: Optional[float] = None
+    lrd: LRDConfig = field(default_factory=LRDConfig)
+    filtering_level: Optional[int] = None
+    filtering_size_divisor: float = 2.0
+    distortion_threshold: float = 0.0
+    redistribute_intra_cluster_weight: bool = True
+    max_fill_fraction: float = 1.0
+    seed: SeedLike = 0
+
+    def __post_init__(self) -> None:
+        if self.target_condition_number is not None:
+            check_positive(self.target_condition_number, "target_condition_number")
+        if self.filtering_level is not None and self.filtering_level < 0:
+            raise ValueError("filtering_level must be non-negative")
+        check_positive(self.filtering_size_divisor, "filtering_size_divisor")
+        if self.distortion_threshold < 0:
+            raise ValueError("distortion_threshold must be non-negative")
+        if not 0.0 < self.max_fill_fraction <= 1.0:
+            raise ValueError("max_fill_fraction must lie in (0, 1]")

@@ -1,0 +1,73 @@
+"""Spectral distortion estimation for newly streamed edges (Section III-C-1).
+
+The spectral distortion of a candidate edge ``(p, q, w)`` with respect to the
+current sparsifier ``H`` is ``w * R_H(p, q)`` — equation (6) of the paper
+shows it equals the total relative eigenvalue perturbation the edge would
+cause if added to ``H``.  The update phase therefore ranks incoming edges by
+estimated distortion (using the LRD resistance embedding) and considers the
+most distorting edges first: those are the edges whose absence keeps the
+condition number large.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.embedding import ResistanceEmbedding
+
+WeightedEdge = Tuple[int, int, float]
+
+
+@dataclass
+class DistortionEstimate:
+    """Per-edge distortion estimate produced by :func:`estimate_distortions`."""
+
+    edge: WeightedEdge
+    resistance_bound: float
+    distortion: float
+
+
+def estimate_distortions(embedding: ResistanceEmbedding,
+                         new_edges: Sequence[WeightedEdge]) -> List[DistortionEstimate]:
+    """Estimate the spectral distortion of every candidate edge.
+
+    The resistance between the endpoints is upper-bounded by the diameter of
+    the first LRD cluster they share; multiplying by the edge weight gives the
+    distortion estimate of equation (6).
+    """
+    if not new_edges:
+        return []
+    pairs = [(p, q) for p, q, _ in new_edges]
+    weights = np.array([w for _, _, w in new_edges], dtype=float)
+    bounds = embedding.estimate_resistances(pairs)
+    distortions = weights * bounds
+    return [
+        DistortionEstimate(edge=edge, resistance_bound=float(bound), distortion=float(distortion))
+        for edge, bound, distortion in zip(new_edges, bounds, distortions)
+    ]
+
+
+def sort_by_distortion(estimates: Sequence[DistortionEstimate]) -> List[DistortionEstimate]:
+    """Return estimates sorted by decreasing distortion (most critical first)."""
+    return sorted(estimates, key=lambda item: item.distortion, reverse=True)
+
+
+def filter_by_threshold(estimates: Sequence[DistortionEstimate],
+                        relative_threshold: float) -> Tuple[List[DistortionEstimate], List[DistortionEstimate]]:
+    """Split estimates into (kept, dropped) using a relative distortion cut.
+
+    Edges whose distortion falls below ``relative_threshold`` times the median
+    distortion of the batch are dropped outright — they are spectrally
+    negligible and would only densify the sparsifier.  ``relative_threshold``
+    of 0 keeps everything.
+    """
+    if relative_threshold <= 0 or not estimates:
+        return list(estimates), []
+    distortions = np.array([item.distortion for item in estimates])
+    cutoff = relative_threshold * float(np.median(distortions))
+    kept = [item for item in estimates if item.distortion >= cutoff]
+    dropped = [item for item in estimates if item.distortion < cutoff]
+    return kept, dropped

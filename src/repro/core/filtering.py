@@ -1,0 +1,223 @@
+"""Spectral similarity filtering of new edges (Section III-C-2 of the paper).
+
+Once the new edges are ranked by spectral distortion, inGRASS decides for each
+one — in ``O(log N)`` using the filtering level ``L`` of the LRD hierarchy —
+whether it is *spectrally unique* enough to enter the sparsifier:
+
+* if the two endpoints fall in **the same level-``L`` cluster**, the edge is
+  discarded and its weight is distributed proportionally over the sparsifier
+  edges inside that cluster (the cluster already provides a low-resistance
+  path, so the new edge mostly duplicates it);
+* if **another sparsifier edge already connects the two clusters**, the edge
+  is discarded and its weight added onto that existing inter-cluster edge;
+* otherwise the edge is **added** to the sparsifier and the cluster
+  connectivity map is updated so later edges in the same stream see it.
+
+The cluster-pair connectivity map is the operational face of the paper's
+"multilevel sparse data structure": one hash map per filtering level, keyed by
+cluster pairs, valued with a representative sparsifier edge.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.distortion import DistortionEstimate
+from repro.core.hierarchy import ClusterHierarchy
+from repro.graphs.graph import Graph, canonical_edge
+
+WeightedEdge = Tuple[int, int, float]
+ClusterPair = Tuple[int, int]
+
+
+class FilterAction(Enum):
+    """What the similarity filter decided to do with a new edge."""
+
+    ADDED = "added"
+    MERGED_INTO_EXISTING = "merged_into_existing"
+    REDISTRIBUTED_INTRA_CLUSTER = "redistributed_intra_cluster"
+    DROPPED_LOW_DISTORTION = "dropped_low_distortion"
+
+
+@dataclass
+class FilterDecision:
+    """Record of the filter's decision for one streamed edge."""
+
+    edge: WeightedEdge
+    action: FilterAction
+    distortion: float
+    target_edge: Optional[Tuple[int, int]] = None  # for merges: the edge that absorbed the weight
+    cluster_pair: Optional[ClusterPair] = None
+
+
+@dataclass
+class FilterSummary:
+    """Aggregate counts of one filtering pass."""
+
+    added: int = 0
+    merged: int = 0
+    redistributed: int = 0
+    dropped: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.added + self.merged + self.redistributed + self.dropped
+
+
+class SimilarityFilter:
+    """Stateful edge filter bound to a sparsifier and a filtering level.
+
+    Parameters
+    ----------
+    sparsifier:
+        The sparsifier ``H`` being maintained; mutated in place by
+        :meth:`apply`.
+    hierarchy:
+        LRD hierarchy from the setup phase.
+    filtering_level:
+        Level ``L`` whose clusters define "spectral similarity".
+    redistribute_intra_cluster_weight:
+        When ``True`` (paper behaviour) the weight of an intra-cluster edge is
+        spread proportionally over the sparsifier edges inside the cluster;
+        when ``False`` the edge is simply dropped.
+    """
+
+    def __init__(self, sparsifier: Graph, hierarchy: ClusterHierarchy, filtering_level: int,
+                 *, redistribute_intra_cluster_weight: bool = True) -> None:
+        if filtering_level < 0 or filtering_level >= hierarchy.num_levels:
+            raise ValueError(
+                f"filtering_level {filtering_level} out of range for a hierarchy with "
+                f"{hierarchy.num_levels} levels"
+            )
+        self._sparsifier = sparsifier
+        self._hierarchy = hierarchy
+        self._level_index = filtering_level
+        self._labels = hierarchy.level(filtering_level).labels
+        self._redistribute = redistribute_intra_cluster_weight
+        self._connectivity: Dict[ClusterPair, Tuple[int, int]] = {}
+        self._intra_cluster_edges: Dict[int, List[Tuple[int, int]]] = defaultdict(list)
+        self._rebuild_connectivity()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def filtering_level(self) -> int:
+        """The level ``L`` used for similarity decisions."""
+        return self._level_index
+
+    @property
+    def sparsifier(self) -> Graph:
+        """The sparsifier being maintained."""
+        return self._sparsifier
+
+    def _cluster_pair(self, p: int, q: int) -> ClusterPair:
+        cp, cq = int(self._labels[p]), int(self._labels[q])
+        return (cp, cq) if cp <= cq else (cq, cp)
+
+    def _rebuild_connectivity(self) -> None:
+        """Scan the sparsifier once and index its edges by cluster pair."""
+        self._connectivity.clear()
+        self._intra_cluster_edges.clear()
+        for u, v in self._sparsifier.edges():
+            pair = self._cluster_pair(u, v)
+            if pair[0] == pair[1]:
+                self._intra_cluster_edges[pair[0]].append((u, v))
+            elif pair not in self._connectivity:
+                self._connectivity[pair] = (u, v)
+
+    def connects_clusters(self, p: int, q: int) -> bool:
+        """Return ``True`` when a sparsifier edge already joins the clusters of p and q."""
+        pair = self._cluster_pair(p, q)
+        if pair[0] == pair[1]:
+            return True
+        return pair in self._connectivity
+
+    # ------------------------------------------------------------------ #
+    def _redistribute_weight(self, cluster: int, weight: float) -> None:
+        """Spread ``weight`` proportionally over the sparsifier edges inside ``cluster``."""
+        edges = self._intra_cluster_edges.get(cluster, [])
+        if not edges:
+            return
+        current_weights = np.array([self._sparsifier.weight(u, v) for u, v in edges])
+        total = current_weights.sum()
+        if total <= 0:
+            return
+        for (u, v), share in zip(edges, current_weights / total):
+            self._sparsifier.increase_weight(u, v, max(weight * share, 1e-300))
+
+    def _apply_single(self, estimate: DistortionEstimate) -> FilterDecision:
+        p, q, weight = estimate.edge
+        pair = self._cluster_pair(p, q)
+        if pair[0] == pair[1]:
+            # Both endpoints already live in one low-resistance cluster.
+            if self._sparsifier.has_edge(p, q):
+                # The sparsifier already carries this exact edge; treat the new
+                # weight as a parallel conductor.
+                self._sparsifier.increase_weight(p, q, weight)
+                return FilterDecision(estimate.edge, FilterAction.MERGED_INTO_EXISTING,
+                                      estimate.distortion, target_edge=(p, q), cluster_pair=pair)
+            if self._redistribute:
+                self._redistribute_weight(pair[0], weight)
+            return FilterDecision(estimate.edge, FilterAction.REDISTRIBUTED_INTRA_CLUSTER,
+                                  estimate.distortion, cluster_pair=pair)
+        existing = self._connectivity.get(pair)
+        if existing is not None:
+            u, v = existing
+            self._sparsifier.increase_weight(u, v, weight)
+            return FilterDecision(estimate.edge, FilterAction.MERGED_INTO_EXISTING,
+                                  estimate.distortion, target_edge=existing, cluster_pair=pair)
+        # Spectrally unique edge: admit it and register the new cluster connection.
+        self._sparsifier.add_edge(p, q, weight, merge="add")
+        self._connectivity[pair] = (p, q)
+        return FilterDecision(estimate.edge, FilterAction.ADDED, estimate.distortion, cluster_pair=pair)
+
+    def apply(self, estimates: Sequence[DistortionEstimate],
+              *, max_additions: Optional[int] = None) -> Tuple[List[FilterDecision], FilterSummary]:
+        """Filter a distortion-sorted batch of edges, mutating the sparsifier.
+
+        Parameters
+        ----------
+        estimates:
+            Candidate edges with distortion estimates, most distorting first
+            (callers sort via :func:`repro.core.distortion.sort_by_distortion`).
+        max_additions:
+            Optional cap on how many edges may be added in this pass; once
+            reached, remaining inter-cluster candidates are merged into their
+            cluster-pair representative instead of being added.
+        """
+        decisions: List[FilterDecision] = []
+        summary = FilterSummary()
+        for estimate in estimates:
+            if max_additions is not None and summary.added >= max_additions:
+                p, q, weight = estimate.edge
+                pair = self._cluster_pair(p, q)
+                existing = self._connectivity.get(pair)
+                if pair[0] != pair[1] and existing is not None:
+                    u, v = existing
+                    self._sparsifier.increase_weight(u, v, weight)
+                    decision = FilterDecision(estimate.edge, FilterAction.MERGED_INTO_EXISTING,
+                                              estimate.distortion, target_edge=existing, cluster_pair=pair)
+                elif pair[0] == pair[1]:
+                    if self._redistribute:
+                        self._redistribute_weight(pair[0], weight)
+                    decision = FilterDecision(estimate.edge, FilterAction.REDISTRIBUTED_INTRA_CLUSTER,
+                                              estimate.distortion, cluster_pair=pair)
+                else:
+                    decision = FilterDecision(estimate.edge, FilterAction.DROPPED_LOW_DISTORTION,
+                                              estimate.distortion, cluster_pair=pair)
+            else:
+                decision = self._apply_single(estimate)
+            decisions.append(decision)
+            if decision.action is FilterAction.ADDED:
+                summary.added += 1
+            elif decision.action is FilterAction.MERGED_INTO_EXISTING:
+                summary.merged += 1
+            elif decision.action is FilterAction.REDISTRIBUTED_INTRA_CLUSTER:
+                summary.redistributed += 1
+            else:
+                summary.dropped += 1
+        return decisions, summary

@@ -1,0 +1,236 @@
+"""Multilevel cluster hierarchy — the paper's "multilevel sparse data structure".
+
+The LRD decomposition (Section III-B-2) produces, for every level, a
+partition of the sparsifier's nodes into clusters with bounded
+effective-resistance diameter.  :class:`ClusterHierarchy` stores those
+partitions column-wise: the ``O(log N)``-dimensional embedding vector of a
+node is simply the row of cluster indices assigned to it across the levels
+(Figure 2 of the paper).  On top of the raw labels the hierarchy answers the
+two queries the update phase needs in ``O(log N)`` per edge:
+
+* the **first common level** of two nodes, whose cluster diameter upper-bounds
+  their effective-resistance distance (spectral distortion estimation);
+* the **filtering level** associated with a target condition number
+  (Section III-C-2: the coarsest level whose largest cluster holds at most
+  ``C / 2`` nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class LRDLevel:
+    """One level of the low-resistance-diameter decomposition.
+
+    Attributes
+    ----------
+    labels:
+        Array of length ``num_nodes`` mapping every original node to its
+        cluster index at this level (cluster indices are compact,
+        ``0 .. num_clusters-1``).
+    cluster_diameters:
+        Upper bound on the effective-resistance diameter of every cluster.
+    diameter_threshold:
+        The threshold the contraction honoured while building this level.
+    """
+
+    labels: np.ndarray
+    cluster_diameters: np.ndarray
+    diameter_threshold: float
+
+    @property
+    def num_clusters(self) -> int:
+        return int(self.cluster_diameters.shape[0])
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.labels.shape[0])
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Return the node count of every cluster."""
+        return np.bincount(self.labels, minlength=self.num_clusters)
+
+    def max_cluster_size(self) -> int:
+        """Return the size of the largest cluster."""
+        sizes = self.cluster_sizes()
+        return int(sizes.max()) if sizes.size else 0
+
+    def nodes_in_cluster(self, cluster: int) -> np.ndarray:
+        """Return the original nodes belonging to ``cluster``."""
+        return np.flatnonzero(self.labels == cluster)
+
+
+class ClusterHierarchy:
+    """Stack of LRD levels plus the node-embedding view used by inGRASS."""
+
+    def __init__(self, levels: Sequence[LRDLevel]) -> None:
+        if not levels:
+            raise ValueError("hierarchy needs at least one level")
+        num_nodes = levels[0].num_nodes
+        for level in levels:
+            if level.num_nodes != num_nodes:
+                raise ValueError("all levels must cover the same node set")
+        self._levels: List[LRDLevel] = list(levels)
+        self._num_nodes = num_nodes
+        # (n, L) matrix of cluster indices — the paper's embedding vectors.
+        self._embedding = np.column_stack([level.labels for level in self._levels])
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_levels(self) -> int:
+        """Number of decomposition levels (= embedding dimension)."""
+        return len(self._levels)
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def levels(self) -> List[LRDLevel]:
+        """The underlying levels, finest first."""
+        return self._levels
+
+    def level(self, index: int) -> LRDLevel:
+        """Return level ``index`` (0 = finest)."""
+        return self._levels[index]
+
+    # ------------------------------------------------------------------ #
+    # Embedding queries
+    # ------------------------------------------------------------------ #
+    def embedding_matrix(self) -> np.ndarray:
+        """Return the ``(num_nodes, num_levels)`` cluster-index matrix."""
+        return self._embedding.copy()
+
+    def embedding_vector(self, node: int) -> np.ndarray:
+        """Return the embedding vector (cluster index per level) of ``node``."""
+        return self._embedding[node].copy()
+
+    def cluster_of(self, node: int, level: int) -> int:
+        """Return the cluster index of ``node`` at ``level``."""
+        return int(self._embedding[node, level])
+
+    def first_common_level(self, p: int, q: int) -> Optional[int]:
+        """Return the finest level at which ``p`` and ``q`` share a cluster.
+
+        Because clusters are nested, the nodes also share a cluster at every
+        coarser level.  Returns ``None`` when the nodes never share a cluster
+        (possible if the decomposition stopped before reaching one cluster).
+        """
+        equal = self._embedding[p] == self._embedding[q]
+        if not equal.any():
+            return None
+        return int(np.argmax(equal))
+
+    def first_common_levels(self, ps: np.ndarray, qs: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`first_common_level`; -1 encodes "never common"."""
+        equal = self._embedding[ps] == self._embedding[qs]
+        has_common = equal.any(axis=1)
+        first = np.argmax(equal, axis=1)
+        return np.where(has_common, first, -1)
+
+    # ------------------------------------------------------------------ #
+    # Resistance bounds and distortion support
+    # ------------------------------------------------------------------ #
+    def fallback_resistance(self) -> float:
+        """Bound used for node pairs that never share a cluster."""
+        coarsest = self._levels[-1]
+        if coarsest.cluster_diameters.size:
+            base = float(coarsest.cluster_diameters.max())
+        else:
+            base = 0.0
+        threshold = float(coarsest.diameter_threshold)
+        return max(2.0 * base, 2.0 * threshold, 1e-12)
+
+    def resistance_upper_bound(self, p: int, q: int) -> float:
+        """Upper bound on the effective resistance between ``p`` and ``q``.
+
+        The bound is the resistance diameter of the first cluster the two
+        nodes share (Figure 2 of the paper): both nodes lie inside that
+        cluster, so their resistance distance cannot exceed its diameter.
+        """
+        if p == q:
+            return 0.0
+        level_index = self.first_common_level(p, q)
+        if level_index is None:
+            return self.fallback_resistance()
+        level = self._levels[level_index]
+        cluster = int(self._embedding[p, level_index])
+        diameter = float(level.cluster_diameters[cluster])
+        # A zero diameter can only happen for singleton clusters, which cannot
+        # contain two distinct nodes; guard anyway.
+        return max(diameter, 1e-12)
+
+    def resistance_upper_bounds(self, pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
+        """Vectorised :meth:`resistance_upper_bound` for many node pairs."""
+        if not pairs:
+            return np.zeros(0)
+        ps = np.fromiter((p for p, _ in pairs), dtype=np.int64, count=len(pairs))
+        qs = np.fromiter((q for _, q in pairs), dtype=np.int64, count=len(pairs))
+        levels = self.first_common_levels(ps, qs)
+        bounds = np.empty(len(pairs))
+        fallback = self.fallback_resistance()
+        for i, (p, level_index) in enumerate(zip(ps, levels)):
+            if ps[i] == qs[i]:
+                bounds[i] = 0.0
+            elif level_index < 0:
+                bounds[i] = fallback
+            else:
+                cluster = int(self._embedding[p, level_index])
+                bounds[i] = max(float(self._levels[level_index].cluster_diameters[cluster]), 1e-12)
+        return bounds
+
+    # ------------------------------------------------------------------ #
+    # Filtering-level selection (Section III-C-2)
+    # ------------------------------------------------------------------ #
+    def max_cluster_sizes(self) -> List[int]:
+        """Largest cluster size of every level, finest first."""
+        return [level.max_cluster_size() for level in self._levels]
+
+    def filtering_level_for_condition(self, target_condition_number: float,
+                                      size_divisor: float = 2.0) -> int:
+        """Pick the filtering level for a target condition number ``C``.
+
+        The paper selects the level whose largest cluster holds at most
+        ``C / 2`` nodes; among the levels satisfying the bound the coarsest
+        one is used (coarser levels filter more aggressively while still
+        keeping the intra-cluster distortion below the target).  When even the
+        finest level violates the bound, the finest level is returned.
+        ``size_divisor`` generalises the ``2`` for the ablation study.
+        """
+        if target_condition_number <= 0:
+            raise ValueError("target_condition_number must be positive")
+        if size_divisor <= 0:
+            raise ValueError("size_divisor must be positive")
+        limit = target_condition_number / size_divisor
+        chosen = 0
+        for index, level in enumerate(self._levels):
+            if level.max_cluster_size() <= limit:
+                chosen = index
+            else:
+                break
+        return chosen
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> List[dict]:
+        """Per-level summary used by reports and the walkthrough example."""
+        rows = []
+        for index, level in enumerate(self._levels):
+            sizes = level.cluster_sizes()
+            rows.append(
+                {
+                    "level": index,
+                    "num_clusters": level.num_clusters,
+                    "max_cluster_size": int(sizes.max()) if sizes.size else 0,
+                    "mean_cluster_size": float(sizes.mean()) if sizes.size else 0.0,
+                    "diameter_threshold": level.diameter_threshold,
+                    "max_cluster_diameter": float(level.cluster_diameters.max())
+                    if level.cluster_diameters.size
+                    else 0.0,
+                }
+            )
+        return rows

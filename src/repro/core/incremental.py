@@ -1,0 +1,230 @@
+"""The :class:`InGrassSparsifier` driver — the library's main public entry point.
+
+It bundles the paper's Algorithm 1 into a convenient object:
+
+* :meth:`setup` runs the one-time setup phase on the initial sparsifier
+  ``H(0)`` (and can build ``H(0)`` itself via the GRASS-style baseline when
+  the caller only has the graph);
+* :meth:`update` consumes one batch of newly streamed edges, keeping both the
+  internal copy of the original graph ``G(k)`` and the sparsifier ``H(k)`` in
+  sync, and recording per-iteration statistics;
+* :meth:`condition_number` / :meth:`report` evaluate the current quality.
+
+Typical usage::
+
+    from repro import InGrassSparsifier, InGrassConfig
+
+    ingrass = InGrassSparsifier(InGrassConfig())
+    ingrass.setup(graph, sparsifier)              # one-time, O(N log N)
+    for batch in edge_stream:                     # each batch: O(log N) per edge
+        result = ingrass.update(batch)
+    print(ingrass.report())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import InGrassConfig
+from repro.core.filtering import SimilarityFilter
+from repro.core.setup import SetupResult, run_setup
+from repro.core.update import UpdateResult, run_update
+from repro.graphs.graph import Graph
+from repro.graphs.validation import validate_sparsifier_support
+from repro.sparsify.metrics import SparsifierReport, evaluate_sparsifier, offtree_density
+from repro.spectral.condition import relative_condition_number
+from repro.utils.timing import Timer
+
+WeightedEdge = Tuple[int, int, float]
+
+
+@dataclass
+class IterationRecord:
+    """Statistics of one incremental update iteration."""
+
+    iteration: int
+    streamed_edges: int
+    added_edges: int
+    merged_edges: int
+    redistributed_edges: int
+    dropped_edges: int
+    filtering_level: int
+    update_seconds: float
+    sparsifier_edges: int
+    offtree_density: float
+
+
+class InGrassSparsifier:
+    """Incremental spectral sparsifier maintaining ``H(k)`` under edge insertions."""
+
+    def __init__(self, config: Optional[InGrassConfig] = None) -> None:
+        self.config = config if config is not None else InGrassConfig()
+        self._graph: Optional[Graph] = None
+        self._sparsifier: Optional[Graph] = None
+        self._setup: Optional[SetupResult] = None
+        self._filter: Optional[SimilarityFilter] = None
+        self._target_condition: Optional[float] = self.config.target_condition_number
+        self._history: List[IterationRecord] = []
+        self._total_update_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    # State access
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> Graph:
+        """The tracked original graph ``G(k)`` (including streamed edges)."""
+        self._require_setup()
+        return self._graph  # type: ignore[return-value]
+
+    @property
+    def sparsifier(self) -> Graph:
+        """The current sparsifier ``H(k)``."""
+        self._require_setup()
+        return self._sparsifier  # type: ignore[return-value]
+
+    @property
+    def setup_result(self) -> SetupResult:
+        """Artifacts of the setup phase (hierarchy, embedding, timing)."""
+        self._require_setup()
+        return self._setup  # type: ignore[return-value]
+
+    @property
+    def setup_seconds(self) -> float:
+        """Wall-clock cost of the setup phase."""
+        self._require_setup()
+        return self._setup.setup_seconds  # type: ignore[union-attr]
+
+    @property
+    def total_update_seconds(self) -> float:
+        """Accumulated wall-clock cost of all update iterations."""
+        return self._total_update_seconds
+
+    @property
+    def history(self) -> List[IterationRecord]:
+        """Per-iteration statistics, in call order."""
+        return list(self._history)
+
+    @property
+    def target_condition_number(self) -> Optional[float]:
+        """Target κ used to choose the similarity filtering level."""
+        return self._target_condition
+
+    def _require_setup(self) -> None:
+        if self._setup is None:
+            raise RuntimeError("call setup() before using the sparsifier")
+
+    # ------------------------------------------------------------------ #
+    # Setup
+    # ------------------------------------------------------------------ #
+    def setup(self, graph: Graph, sparsifier: Optional[Graph] = None, *,
+              target_condition_number: Optional[float] = None,
+              initial_offtree_density: float = 0.10) -> SetupResult:
+        """Run the one-time setup phase.
+
+        Parameters
+        ----------
+        graph:
+            The original graph ``G(0)``.
+        sparsifier:
+            The initial sparsifier ``H(0)``.  When omitted, a GRASS-style
+            sparsifier with ``initial_offtree_density`` off-tree edges per
+            node is built from ``graph``.
+        target_condition_number:
+            Target κ for the similarity filter.  When omitted and not present
+            in the configuration, the measured κ(G(0), H(0)) is used — i.e.
+            "keep the quality the initial sparsifier had", which is the
+            protocol of the paper's Table II.
+        initial_offtree_density:
+            Density of the automatically built sparsifier (ignored when
+            ``sparsifier`` is given).
+        """
+        if sparsifier is None:
+            from repro.sparsify.grass import GrassConfig, GrassSparsifier
+
+            grass_config = GrassConfig(target_offtree_density=initial_offtree_density,
+                                       seed=self.config.seed)
+            sparsifier = GrassSparsifier(grass_config).sparsify(graph).sparsifier
+        validate_sparsifier_support(graph, sparsifier, allow_new_edges=True)
+        self._graph = graph.copy()
+        self._sparsifier = sparsifier.copy()
+        self._setup = run_setup(self._sparsifier, self.config)
+        self._filter = None
+        self._history = []
+        self._total_update_seconds = 0.0
+
+        if target_condition_number is not None:
+            self._target_condition = target_condition_number
+        elif self.config.target_condition_number is not None:
+            self._target_condition = self.config.target_condition_number
+        elif self.config.filtering_level is None:
+            # Derive the target from the measured initial quality.
+            self._target_condition = relative_condition_number(self._graph, self._sparsifier)
+        return self._setup
+
+    # ------------------------------------------------------------------ #
+    # Update
+    # ------------------------------------------------------------------ #
+    def update(self, new_edges: Sequence[WeightedEdge]) -> UpdateResult:
+        """Apply one batch of newly streamed edges.
+
+        The batch is added to the tracked original graph unconditionally (the
+        physical network really did change) and to the sparsifier selectively
+        through distortion ranking and similarity filtering.
+        """
+        self._require_setup()
+        graph = self._graph
+        sparsifier = self._sparsifier
+        assert graph is not None and sparsifier is not None and self._setup is not None
+
+        graph.add_edges(new_edges, merge="add")
+        if self._filter is None:
+            level = (
+                self.config.filtering_level
+                if self.config.filtering_level is not None
+                else self._setup.filtering_level_for(self._target_condition or 2.0,
+                                                     self.config.filtering_size_divisor)
+            )
+            self._filter = SimilarityFilter(
+                sparsifier, self._setup.hierarchy, level,
+                redistribute_intra_cluster_weight=self.config.redistribute_intra_cluster_weight,
+            )
+        result = run_update(
+            sparsifier, self._setup, new_edges, self.config,
+            target_condition_number=self._target_condition,
+            similarity_filter=self._filter,
+        )
+        self._total_update_seconds += result.update_seconds
+        self._history.append(
+            IterationRecord(
+                iteration=len(self._history) + 1,
+                streamed_edges=len(list(new_edges)),
+                added_edges=result.summary.added,
+                merged_edges=result.summary.merged,
+                redistributed_edges=result.summary.redistributed,
+                dropped_edges=result.summary.dropped,
+                filtering_level=result.filtering_level,
+                update_seconds=result.update_seconds,
+                sparsifier_edges=sparsifier.num_edges,
+                offtree_density=offtree_density(sparsifier),
+            )
+        )
+        return result
+
+    def update_many(self, batches: Sequence[Sequence[WeightedEdge]]) -> List[UpdateResult]:
+        """Apply several batches in order (the 10-iteration protocol of Table II)."""
+        return [self.update(batch) for batch in batches]
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def condition_number(self, *, dense_limit: int = 1500) -> float:
+        """Return κ(L_G(k), L_H(k)) for the current state."""
+        self._require_setup()
+        return relative_condition_number(self._graph, self._sparsifier, dense_limit=dense_limit)
+
+    def report(self, *, compute_condition: bool = True, dense_limit: int = 1500) -> SparsifierReport:
+        """Return a full quality report of the current sparsifier."""
+        self._require_setup()
+        return evaluate_sparsifier(self._graph, self._sparsifier,
+                                   compute_condition=compute_condition, dense_limit=dense_limit)

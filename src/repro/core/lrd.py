@@ -1,0 +1,209 @@
+"""Low-resistance-diameter (LRD) decomposition (Section III-B-2 of the paper).
+
+The decomposition iteratively contracts the initial sparsifier into node
+clusters whose effective-resistance diameter stays below a per-level
+threshold:
+
+* **(S1)** estimate the effective resistance of every edge of the current
+  (contracted) sparsifier with the scalable embedding of Section III-B-1;
+* **(S2)** contract edges in order of increasing resistance, merging two
+  clusters only when the merged resistance diameter stays below the level's
+  threshold (cluster diameters start at 0 for all singleton nodes);
+* **(S3)** replace each contracted cluster with a supernode, aggregate
+  parallel edges, carry the accumulated cluster diameters over, double the
+  diameter threshold and move on to the next level.
+
+After ``O(log N)`` levels every node carries one cluster index per level —
+its resistance embedding vector — and the per-level cluster diameters give
+the resistance upper bounds used by the update phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import LRDConfig
+from repro.core.hierarchy import ClusterHierarchy, LRDLevel
+from repro.graphs.graph import Graph
+from repro.graphs.unionfind import UnionFind
+from repro.spectral.effective_resistance import make_resistance_calculator
+
+
+@dataclass
+class _ContractionState:
+    """Working state carried between levels of the decomposition."""
+
+    graph: Graph                 # current contracted sparsifier
+    node_labels: np.ndarray      # original node -> current supernode
+    diameters: np.ndarray        # resistance diameter carried by each supernode
+
+
+def _estimate_edge_resistances(graph: Graph, config: LRDConfig, level_index: int) -> np.ndarray:
+    """Resistance estimate of every edge of ``graph`` (S1)."""
+    if graph.num_edges == 0:
+        return np.zeros(0)
+    if graph.num_nodes < 3:
+        # Tiny contracted graphs: series formula is exact enough.
+        _, _, weights = graph.edge_arrays()
+        return 1.0 / weights
+    calculator = make_resistance_calculator(
+        graph,
+        config.resistance_method,
+        order=config.resistance_order,
+        seed=(config.seed if not isinstance(config.seed, np.random.Generator) else config.seed),
+    )
+    resistances = calculator.edge_resistances()
+    # Effective resistance of an edge can never exceed the edge's own
+    # resistance (1/w); clamping repairs approximation overshoot.
+    _, _, weights = graph.edge_arrays()
+    return np.minimum(np.maximum(resistances, 0.0), 1.0 / weights)
+
+
+def _contract_level(state: _ContractionState, edge_resistances: np.ndarray,
+                    threshold: float) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Greedy bounded-diameter contraction (S2).
+
+    Returns ``(new_labels_for_current_nodes, new_cluster_diameters, merges)``.
+    """
+    current = state.graph
+    us, vs, _ = current.edge_arrays()
+    order = np.argsort(edge_resistances, kind="stable")
+    uf = UnionFind(current.num_nodes)
+    diameters: Dict[int, float] = {node: float(state.diameters[node]) for node in range(current.num_nodes)}
+    merges = 0
+    for index in order:
+        u, v = int(us[index]), int(vs[index])
+        root_u, root_v = uf.find(u), uf.find(v)
+        if root_u == root_v:
+            continue
+        merged_diameter = diameters[root_u] + diameters[root_v] + float(edge_resistances[index])
+        if merged_diameter > threshold:
+            continue
+        uf.union(root_u, root_v)
+        new_root = uf.find(root_u)
+        diameters[new_root] = merged_diameter
+        merges += 1
+    labels = uf.labels(compact=True)
+    num_clusters = int(labels.max()) + 1 if labels.size else 0
+    cluster_diameters = np.zeros(num_clusters)
+    for node in range(current.num_nodes):
+        cluster = int(labels[node])
+        cluster_diameters[cluster] = max(cluster_diameters[cluster], diameters[uf.find(node)])
+    return labels, cluster_diameters, merges
+
+
+def _build_quotient(current: Graph, labels: np.ndarray, num_clusters: int) -> Graph:
+    """Contract clusters into supernodes, merging parallel edges by weight sum (S3)."""
+    quotient = Graph(num_clusters)
+    for u, v, w in current.weighted_edges():
+        cu, cv = int(labels[u]), int(labels[v])
+        if cu != cv:
+            quotient.add_edge(cu, cv, w, merge="add")
+    return quotient
+
+
+def _initial_threshold(graph: Graph, config: LRDConfig) -> float:
+    """Level-0 diameter threshold (median edge resistance unless configured)."""
+    if config.initial_diameter is not None:
+        return config.initial_diameter
+    _, _, weights = graph.edge_arrays()
+    if weights.size == 0:
+        return 1.0
+    return float(np.median(1.0 / weights))
+
+
+def lrd_decompose(sparsifier: Graph, config: Optional[LRDConfig] = None) -> ClusterHierarchy:
+    """Run the multilevel LRD decomposition of ``sparsifier``.
+
+    Parameters
+    ----------
+    sparsifier:
+        The initial graph sparsifier ``H(0)`` (connected, weighted).
+    config:
+        Decomposition parameters; defaults to :class:`LRDConfig()`.
+
+    Returns
+    -------
+    ClusterHierarchy
+        Finest-to-coarsest stack of levels; the number of levels is
+        ``O(log N)`` thanks to the geometric growth of the diameter threshold.
+    """
+    config = config if config is not None else LRDConfig()
+    n = sparsifier.num_nodes
+    if n == 0:
+        raise ValueError("cannot decompose an empty graph")
+    if n == 1 or sparsifier.num_edges == 0:
+        level = LRDLevel(labels=np.zeros(n, dtype=np.int64), cluster_diameters=np.zeros(max(n, 1)),
+                         diameter_threshold=0.0)
+        return ClusterHierarchy([level])
+
+    state = _ContractionState(
+        graph=sparsifier,
+        node_labels=np.arange(n, dtype=np.int64),
+        diameters=np.zeros(n),
+    )
+    threshold = _initial_threshold(sparsifier, config)
+    levels: List[LRDLevel] = []
+
+    for level_index in range(config.max_levels):
+        if state.graph.num_nodes <= config.min_clusters or state.graph.num_edges == 0:
+            break
+        edge_resistances = _estimate_edge_resistances(state.graph, config, level_index)
+        labels, cluster_diameters, merges = _contract_level(state, edge_resistances, threshold)
+        threshold *= config.growth_factor
+        if merges == 0:
+            # Nothing contracted at this threshold: grow it and retry without
+            # recording a duplicate level (which would waste an embedding
+            # dimension on information identical to the previous level).
+            continue
+        num_clusters = cluster_diameters.shape[0]
+        # Compose with the original-node labelling of the previous level.
+        original_labels = labels[state.node_labels]
+        levels.append(
+            LRDLevel(
+                labels=original_labels.astype(np.int64),
+                cluster_diameters=cluster_diameters.copy(),
+                diameter_threshold=threshold / config.growth_factor,
+            )
+        )
+        quotient = _build_quotient(state.graph, labels, num_clusters)
+        state = _ContractionState(
+            graph=quotient,
+            node_labels=original_labels.astype(np.int64),
+            diameters=cluster_diameters,
+        )
+
+    if not levels:
+        # Degenerate case (e.g. two nodes whose single edge exceeds every
+        # threshold tried): record the identity level so the hierarchy is
+        # still usable.
+        levels.append(
+            LRDLevel(
+                labels=np.arange(n, dtype=np.int64),
+                cluster_diameters=np.zeros(n),
+                diameter_threshold=threshold,
+            )
+        )
+    # Always top the hierarchy with a single-cluster level so any two nodes
+    # share a cluster at the coarsest level (needed for the resistance upper
+    # bounds of the update phase).  Its diameter is the accumulated bound of
+    # the last contraction state plus the resistances of the remaining edges.
+    coarsest = levels[-1]
+    if coarsest.num_clusters > 1:
+        remaining = state.graph
+        if remaining.num_edges:
+            extra = float(np.sum(1.0 / np.array([w for _, _, w in remaining.weighted_edges()])))
+        else:
+            extra = 0.0
+        top_diameter = float(coarsest.cluster_diameters.sum() + extra)
+        levels.append(
+            LRDLevel(
+                labels=np.zeros(n, dtype=np.int64),
+                cluster_diameters=np.array([max(top_diameter, 1e-12)]),
+                diameter_threshold=max(top_diameter, threshold),
+            )
+        )
+    return ClusterHierarchy(levels)

@@ -1,0 +1,120 @@
+"""inGRASS update phase (Algorithm 1, steps 4-5).
+
+Each update call receives a batch of newly streamed edges and, using only the
+``O(log N)``-dimensional embeddings produced by the setup phase:
+
+1. estimates the spectral distortion of every new edge (Section III-C-1) and
+   sorts the batch so the most spectrally-critical edges are considered first;
+2. runs the spectral-similarity filter at the level matching the target
+   condition number (Section III-C-2), which adds unique edges, merges
+   redundant inter-cluster edges into existing ones, and redistributes the
+   weight of intra-cluster edges.
+
+The cost is ``O(log N)`` per streamed edge — no resistance recomputation, no
+re-sparsification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import InGrassConfig
+from repro.core.distortion import (
+    DistortionEstimate,
+    estimate_distortions,
+    filter_by_threshold,
+    sort_by_distortion,
+)
+from repro.core.filtering import FilterAction, FilterDecision, FilterSummary, SimilarityFilter
+from repro.core.setup import SetupResult
+from repro.graphs.graph import Graph
+from repro.graphs.validation import validate_new_edges
+from repro.utils.timing import Timer
+
+WeightedEdge = Tuple[int, int, float]
+
+
+@dataclass
+class UpdateResult:
+    """Outcome of one incremental update call."""
+
+    decisions: List[FilterDecision]
+    summary: FilterSummary
+    filtering_level: int
+    update_seconds: float
+    dropped_low_distortion: int = 0
+
+    @property
+    def added_edges(self) -> List[WeightedEdge]:
+        """Edges that were actually inserted into the sparsifier."""
+        return [d.edge for d in self.decisions if d.action is FilterAction.ADDED]
+
+
+def run_update(sparsifier: Graph, setup: SetupResult, new_edges: Sequence[WeightedEdge],
+               config: Optional[InGrassConfig] = None, *,
+               target_condition_number: Optional[float] = None,
+               similarity_filter: Optional[SimilarityFilter] = None) -> UpdateResult:
+    """Apply one batch of streamed edges to ``sparsifier`` (mutated in place).
+
+    Parameters
+    ----------
+    sparsifier:
+        Current sparsifier ``H(k)``; updated in place to ``H(k+1)``.
+    setup:
+        Artifacts from :func:`repro.core.setup.run_setup`.
+    new_edges:
+        Batch of ``(u, v, weight)`` edges newly added to the original graph.
+    config:
+        inGRASS configuration (filtering level override, distortion threshold,
+        weight-redistribution toggle, fill cap).
+    target_condition_number:
+        Target κ used to select the filtering level; overrides
+        ``config.target_condition_number`` when given.  Required through one
+        of the two routes unless ``config.filtering_level`` is set.
+    similarity_filter:
+        Reuse an existing filter (keeps its cluster-connectivity state across
+        batches); by default a fresh filter is built from the sparsifier.
+    """
+    config = config if config is not None else InGrassConfig()
+    timer = Timer().start()
+    cleaned = validate_new_edges(sparsifier, new_edges)
+
+    if config.filtering_level is not None:
+        level = config.filtering_level
+    else:
+        target = target_condition_number if target_condition_number is not None else config.target_condition_number
+        if target is None:
+            raise ValueError(
+                "a target condition number (or an explicit filtering_level) is required "
+                "to choose the similarity filtering level"
+            )
+        level = setup.filtering_level_for(target, config.filtering_size_divisor)
+
+    if similarity_filter is None or similarity_filter.filtering_level != level:
+        similarity_filter = SimilarityFilter(
+            sparsifier, setup.hierarchy, level,
+            redistribute_intra_cluster_weight=config.redistribute_intra_cluster_weight,
+        )
+
+    estimates = estimate_distortions(setup.embedding, cleaned)
+    estimates, dropped = filter_by_threshold(estimates, config.distortion_threshold)
+    estimates = sort_by_distortion(estimates)
+    max_additions = None
+    if config.max_fill_fraction < 1.0:
+        max_additions = max(1, int(round(config.max_fill_fraction * len(cleaned))))
+    decisions, summary = similarity_filter.apply(estimates, max_additions=max_additions)
+    summary.dropped += len(dropped)
+    for item in dropped:
+        decisions.append(
+            FilterDecision(edge=item.edge, action=FilterAction.DROPPED_LOW_DISTORTION,
+                           distortion=item.distortion)
+        )
+    timer.stop()
+    return UpdateResult(
+        decisions=decisions,
+        summary=summary,
+        filtering_level=level,
+        update_seconds=timer.elapsed,
+        dropped_low_distortion=len(dropped),
+    )

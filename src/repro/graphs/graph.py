@@ -1,0 +1,360 @@
+"""Weighted undirected graph container used throughout the library.
+
+The :class:`Graph` class stores edges in a canonical dictionary keyed by
+``(min(u, v), max(u, v))`` which makes incremental insertion, weight updates
+and membership tests O(1) — exactly the operations the inGRASS update phase
+performs per newly streamed edge — while still exposing vectorised COO views
+and scipy sparse matrices for the spectral algebra.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.validation import check_node_index, check_positive
+
+Edge = Tuple[int, int]
+WeightedEdge = Tuple[int, int, float]
+
+
+def canonical_edge(u: int, v: int) -> Edge:
+    """Return the canonical (sorted) form of an undirected edge key."""
+    return (u, v) if u <= v else (v, u)
+
+
+class Graph:
+    """A weighted undirected graph on nodes ``0 .. num_nodes - 1``.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes.  Nodes are always the contiguous integers starting
+        at zero; the benchmark loaders relabel external identifiers.
+    edges:
+        Optional iterable of ``(u, v, weight)`` triples.  Parallel edges are
+        merged by summing weights (the physical behaviour of parallel
+        resistors in the circuit graphs the paper targets).
+
+    Notes
+    -----
+    Self-loops are rejected: they do not change the graph Laplacian and only
+    distort density accounting.
+    """
+
+    def __init__(self, num_nodes: int, edges: Optional[Iterable[WeightedEdge]] = None) -> None:
+        if num_nodes < 0:
+            raise ValueError(f"num_nodes must be non-negative, got {num_nodes}")
+        self._num_nodes = int(num_nodes)
+        self._edges: Dict[Edge, float] = {}
+        self._adjacency: List[Dict[int, float]] = [dict() for _ in range(self._num_nodes)]
+        if edges is not None:
+            for u, v, w in edges:
+                self.add_edge(int(u), int(v), float(w), merge="add")
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (undirected) edges."""
+        return len(self._edges)
+
+    def __len__(self) -> int:
+        return self._num_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph(num_nodes={self._num_nodes}, num_edges={self.num_edges})"
+
+    def __contains__(self, edge: Tuple[int, int]) -> bool:
+        u, v = edge
+        return canonical_edge(int(u), int(v)) in self._edges
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add_edge(self, u: int, v: int, weight: float = 1.0, merge: str = "add") -> None:
+        """Insert or update the undirected edge ``(u, v)``.
+
+        Parameters
+        ----------
+        u, v:
+            Endpoints; must be distinct valid node indices.
+        weight:
+            Positive edge weight (conductance in circuit terms).
+        merge:
+            Policy when the edge already exists: ``"add"`` sums the weights
+            (parallel resistors), ``"replace"`` overwrites, ``"max"`` keeps
+            the larger weight and ``"error"`` raises.
+        """
+        u = check_node_index(u, self._num_nodes, "u")
+        v = check_node_index(v, self._num_nodes, "v")
+        if u == v:
+            raise ValueError(f"self-loops are not allowed (node {u})")
+        weight = check_positive(weight, "weight")
+        key = canonical_edge(u, v)
+        if key in self._edges:
+            if merge == "add":
+                weight = self._edges[key] + weight
+            elif merge == "max":
+                weight = max(self._edges[key], weight)
+            elif merge == "replace":
+                pass
+            elif merge == "error":
+                raise ValueError(f"edge {key} already exists")
+            else:
+                raise ValueError(f"unknown merge policy {merge!r}")
+        self._edges[key] = weight
+        self._adjacency[u][v] = weight
+        self._adjacency[v][u] = weight
+
+    def add_edges(self, edges: Iterable[WeightedEdge], merge: str = "add") -> None:
+        """Insert many edges at once (see :meth:`add_edge`)."""
+        for u, v, w in edges:
+            self.add_edge(int(u), int(v), float(w), merge=merge)
+
+    def remove_edge(self, u: int, v: int) -> float:
+        """Remove edge ``(u, v)`` and return its weight; raise if absent."""
+        key = canonical_edge(int(u), int(v))
+        if key not in self._edges:
+            raise KeyError(f"edge {key} not in graph")
+        weight = self._edges.pop(key)
+        del self._adjacency[key[0]][key[1]]
+        del self._adjacency[key[1]][key[0]]
+        return weight
+
+    def set_weight(self, u: int, v: int, weight: float) -> None:
+        """Overwrite the weight of an existing edge."""
+        key = canonical_edge(int(u), int(v))
+        if key not in self._edges:
+            raise KeyError(f"edge {key} not in graph")
+        weight = check_positive(weight, "weight")
+        self._edges[key] = weight
+        self._adjacency[key[0]][key[1]] = weight
+        self._adjacency[key[1]][key[0]] = weight
+
+    def scale_weight(self, u: int, v: int, factor: float) -> float:
+        """Multiply the weight of an existing edge by ``factor``; return the new weight."""
+        key = canonical_edge(int(u), int(v))
+        if key not in self._edges:
+            raise KeyError(f"edge {key} not in graph")
+        check_positive(factor, "factor")
+        new_weight = self._edges[key] * factor
+        self.set_weight(u, v, new_weight)
+        return new_weight
+
+    def increase_weight(self, u: int, v: int, delta: float) -> float:
+        """Add ``delta`` to the weight of an existing edge; return the new weight."""
+        key = canonical_edge(int(u), int(v))
+        if key not in self._edges:
+            raise KeyError(f"edge {key} not in graph")
+        check_positive(delta, "delta")
+        new_weight = self._edges[key] + delta
+        self.set_weight(u, v, new_weight)
+        return new_weight
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return ``True`` if the edge ``(u, v)`` is present."""
+        return canonical_edge(int(u), int(v)) in self._edges
+
+    def weight(self, u: int, v: int, default: Optional[float] = None) -> float:
+        """Return the weight of ``(u, v)``; ``default`` if absent (or raise)."""
+        key = canonical_edge(int(u), int(v))
+        if key in self._edges:
+            return self._edges[key]
+        if default is not None:
+            return default
+        raise KeyError(f"edge {key} not in graph")
+
+    def neighbors(self, node: int) -> Dict[int, float]:
+        """Return a copy of the ``{neighbor: weight}`` map of ``node``."""
+        node = check_node_index(node, self._num_nodes)
+        return dict(self._adjacency[node])
+
+    def degree(self, node: int) -> int:
+        """Return the number of incident edges of ``node``."""
+        node = check_node_index(node, self._num_nodes)
+        return len(self._adjacency[node])
+
+    def weighted_degree(self, node: int) -> float:
+        """Return the sum of incident edge weights of ``node``."""
+        node = check_node_index(node, self._num_nodes)
+        return float(sum(self._adjacency[node].values()))
+
+    def degrees(self) -> np.ndarray:
+        """Return the integer degree of every node as an array."""
+        return np.array([len(adj) for adj in self._adjacency], dtype=np.int64)
+
+    def weighted_degrees(self) -> np.ndarray:
+        """Return the weighted degree of every node as an array."""
+        return np.array([sum(adj.values()) for adj in self._adjacency], dtype=float)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over canonical ``(u, v)`` edge keys."""
+        return iter(self._edges.keys())
+
+    def weighted_edges(self) -> Iterator[WeightedEdge]:
+        """Iterate over ``(u, v, weight)`` triples in canonical order."""
+        return ((u, v, w) for (u, v), w in self._edges.items())
+
+    def edge_list(self) -> List[WeightedEdge]:
+        """Return the edges as a list of ``(u, v, weight)`` triples."""
+        return [(u, v, w) for (u, v), w in self._edges.items()]
+
+    def total_weight(self) -> float:
+        """Return the sum of all edge weights."""
+        return float(sum(self._edges.values()))
+
+    def density(self) -> float:
+        """Return the density ``|E| / |V|`` used by the paper's tables."""
+        if self._num_nodes == 0:
+            return 0.0
+        return self.num_edges / self._num_nodes
+
+    def relative_density(self, reference: "Graph") -> float:
+        """Return ``|E| / |E_reference|`` — the percentages reported in Table II."""
+        if reference.num_edges == 0:
+            raise ValueError("reference graph has no edges")
+        return self.num_edges / reference.num_edges
+
+    # ------------------------------------------------------------------ #
+    # Array / matrix views
+    # ------------------------------------------------------------------ #
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return parallel arrays ``(u, v, w)`` of all edges (canonical order)."""
+        m = self.num_edges
+        us = np.empty(m, dtype=np.int64)
+        vs = np.empty(m, dtype=np.int64)
+        ws = np.empty(m, dtype=float)
+        for i, ((u, v), w) in enumerate(self._edges.items()):
+            us[i] = u
+            vs[i] = v
+            ws[i] = w
+        return us, vs, ws
+
+    def adjacency_matrix(self, dtype: type = float) -> sp.csr_matrix:
+        """Return the symmetric weighted adjacency matrix in CSR form."""
+        us, vs, ws = self.edge_arrays()
+        rows = np.concatenate([us, vs])
+        cols = np.concatenate([vs, us])
+        vals = np.concatenate([ws, ws]).astype(dtype)
+        return sp.csr_matrix((vals, (rows, cols)), shape=(self._num_nodes, self._num_nodes))
+
+    def laplacian_matrix(self, dtype: type = float) -> sp.csr_matrix:
+        """Return the graph Laplacian ``L = D - A`` in CSR form."""
+        adjacency = self.adjacency_matrix(dtype=dtype)
+        degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+        return (sp.diags(degrees) - adjacency).tocsr()
+
+    def incidence_matrix(self) -> sp.csr_matrix:
+        """Return the oriented edge-node incidence matrix ``B`` (|E| x |V|).
+
+        Rows follow :meth:`edge_arrays` order; each row has ``+1`` at the
+        smaller endpoint and ``-1`` at the larger one, so ``B^T W B = L``.
+        """
+        us, vs, _ = self.edge_arrays()
+        m = self.num_edges
+        rows = np.repeat(np.arange(m), 2)
+        cols = np.empty(2 * m, dtype=np.int64)
+        cols[0::2] = us
+        cols[1::2] = vs
+        vals = np.empty(2 * m, dtype=float)
+        vals[0::2] = 1.0
+        vals[1::2] = -1.0
+        return sp.csr_matrix((vals, (rows, cols)), shape=(m, self._num_nodes))
+
+    # ------------------------------------------------------------------ #
+    # Derived graphs
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "Graph":
+        """Return a deep copy of the graph."""
+        clone = Graph(self._num_nodes)
+        clone._edges = dict(self._edges)
+        clone._adjacency = [dict(adj) for adj in self._adjacency]
+        return clone
+
+    def subgraph_from_edges(self, edges: Iterable[Edge]) -> "Graph":
+        """Return a graph on the same node set containing only ``edges``.
+
+        Edge weights are taken from this graph; unknown edges raise.
+        """
+        sub = Graph(self._num_nodes)
+        for u, v in edges:
+            sub.add_edge(u, v, self.weight(u, v), merge="error")
+        return sub
+
+    def union_with_edges(self, edges: Iterable[WeightedEdge], merge: str = "add") -> "Graph":
+        """Return a copy of this graph with extra weighted edges merged in."""
+        merged = self.copy()
+        merged.add_edges(edges, merge=merge)
+        return merged
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` (weights under key ``"weight"``)."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self._num_nodes))
+        graph.add_weighted_edges_from(self.weighted_edges())
+        return graph
+
+    @classmethod
+    def from_networkx(cls, nx_graph, weight_key: str = "weight", default_weight: float = 1.0) -> "Graph":
+        """Build a :class:`Graph` from a networkx graph with integer-labelled nodes.
+
+        Nodes are relabelled to ``0 .. n-1`` in sorted order of the original
+        labels; the mapping is implicit (sorted order) so callers that need it
+        should sort their own node list the same way.
+        """
+        nodes = sorted(nx_graph.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        graph = cls(len(nodes))
+        for u, v, data in nx_graph.edges(data=True):
+            if u == v:
+                continue
+            weight = float(data.get(weight_key, default_weight))
+            graph.add_edge(index[u], index[v], weight, merge="add")
+        return graph
+
+    @classmethod
+    def from_sparse(cls, matrix: sp.spmatrix) -> "Graph":
+        """Build a graph from a symmetric sparse adjacency (or Laplacian) matrix.
+
+        Off-diagonal entries are interpreted as adjacency weights using their
+        absolute value, so both adjacency matrices and Laplacians are accepted.
+        """
+        matrix = sp.coo_matrix(matrix)
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"matrix must be square, got shape {matrix.shape}")
+        graph = cls(matrix.shape[0])
+        for i, j, value in zip(matrix.row, matrix.col, matrix.data):
+            if i < j and value != 0.0:
+                graph.add_edge(int(i), int(j), abs(float(value)), merge="replace")
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # Equality (useful in tests)
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if self._num_nodes != other._num_nodes or self.num_edges != other.num_edges:
+            return False
+        for key, weight in self._edges.items():
+            other_weight = other._edges.get(key)
+            if other_weight is None or not np.isclose(weight, other_weight):
+                return False
+        return True
+
+    def __hash__(self) -> int:  # Graphs are mutable; identity hash.
+        return id(self)

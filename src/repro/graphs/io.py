@@ -1,0 +1,93 @@
+"""Graph input/output: Matrix Market and edge-list formats.
+
+The paper's test matrices come from the SuiteSparse collection distributed in
+Matrix Market (``.mtx``) format; this module lets users who have those files
+locally load them directly, and lets the benchmark harness persist the
+synthetic analogues it generates.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+import scipy.io
+import scipy.sparse as sp
+
+from repro.graphs.graph import Graph
+
+PathLike = Union[str, os.PathLike]
+
+
+def graph_to_sparse(graph: Graph) -> sp.csr_matrix:
+    """Return the adjacency matrix of ``graph`` (alias for symmetry with loaders)."""
+    return graph.adjacency_matrix()
+
+
+def save_matrix_market(graph: Graph, path: PathLike, comment: str = "") -> None:
+    """Write the adjacency matrix of ``graph`` as a Matrix Market file."""
+    matrix = graph.adjacency_matrix().tocoo()
+    scipy.io.mmwrite(str(path), matrix, comment=comment, symmetry="symmetric")
+
+
+def load_matrix_market(path: PathLike) -> Graph:
+    """Load a Matrix Market file as an undirected weighted graph.
+
+    Both adjacency matrices and Laplacians are accepted (off-diagonal entries
+    are used with absolute value, diagonals ignored), matching how the
+    SuiteSparse circuit matrices are normally consumed by sparsifiers.
+    """
+    matrix = scipy.io.mmread(str(path))
+    return Graph.from_sparse(sp.coo_matrix(matrix))
+
+
+def save_edge_list(graph: Graph, path: PathLike, header: bool = True) -> None:
+    """Write ``u v weight`` lines (plus an optional header) to ``path``."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        if header:
+            handle.write(f"# nodes {graph.num_nodes} edges {graph.num_edges}\n")
+        for u, v, w in graph.weighted_edges():
+            handle.write(f"{u} {v} {w:.12g}\n")
+
+
+def load_edge_list(path: PathLike, num_nodes: int | None = None) -> Graph:
+    """Load a ``u v [weight]`` edge list; weight defaults to 1.0.
+
+    When ``num_nodes`` is omitted it is inferred as ``max node index + 1``,
+    unless a ``# nodes N ...`` header is present.
+    """
+    path = Path(path)
+    edges: list[tuple[int, int, float]] = []
+    inferred_nodes = 0
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                tokens = line[1:].split()
+                if len(tokens) >= 2 and tokens[0] == "nodes":
+                    inferred_nodes = max(inferred_nodes, int(tokens[1]))
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed edge line: {line!r}")
+            u, v = int(parts[0]), int(parts[1])
+            w = float(parts[2]) if len(parts) > 2 else 1.0
+            edges.append((u, v, w))
+            inferred_nodes = max(inferred_nodes, u + 1, v + 1)
+    total_nodes = num_nodes if num_nodes is not None else inferred_nodes
+    return Graph(total_nodes, edges)
+
+
+def edge_list_string(graph: Graph) -> str:
+    """Return the edge-list serialisation as a string (useful in tests)."""
+    buffer = io.StringIO()
+    buffer.write(f"# nodes {graph.num_nodes} edges {graph.num_edges}\n")
+    for u, v, w in graph.weighted_edges():
+        buffer.write(f"{u} {v} {w:.12g}\n")
+    return buffer.getvalue()

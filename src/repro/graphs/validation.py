@@ -1,0 +1,82 @@
+"""Structural validation helpers for graphs and sparsifiers."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from repro.graphs.components import is_connected
+from repro.graphs.graph import Graph
+
+
+class GraphValidationError(ValueError):
+    """Raised when a graph fails a structural requirement."""
+
+
+def validate_sparsifier_support(graph: Graph, sparsifier: Graph, allow_new_edges: bool = True) -> None:
+    """Check that ``sparsifier`` is a valid sparsifier candidate for ``graph``.
+
+    The node sets must match and the sparsifier must be connected (a
+    disconnected sparsifier has an unbounded relative condition number).
+    When ``allow_new_edges`` is ``False``, every sparsifier edge must also
+    exist in the original graph.
+    """
+    if graph.num_nodes != sparsifier.num_nodes:
+        raise GraphValidationError(
+            f"node count mismatch: graph has {graph.num_nodes}, sparsifier has {sparsifier.num_nodes}"
+        )
+    if sparsifier.num_nodes and not is_connected(sparsifier):
+        raise GraphValidationError("sparsifier must be connected")
+    if not allow_new_edges:
+        missing = [edge for edge in sparsifier.edges() if not graph.has_edge(*edge)]
+        if missing:
+            raise GraphValidationError(
+                f"sparsifier contains {len(missing)} edges absent from the graph, e.g. {missing[:3]}"
+            )
+
+
+def validate_new_edges(graph: Graph, new_edges: Iterable[Tuple[int, int, float]]) -> List[Tuple[int, int, float]]:
+    """Validate a batch of candidate edge insertions.
+
+    Returns the cleaned list.  Endpoints must be valid distinct nodes and
+    weights must be positive; duplicate edges within the batch are merged by
+    summing weights (parallel conductors).
+    """
+    merged: dict[tuple[int, int], float] = {}
+    for u, v, w in new_edges:
+        u, v, w = int(u), int(v), float(w)
+        if u == v:
+            raise GraphValidationError(f"self-loop insertion ({u}, {v}) is not allowed")
+        if u < 0 or v < 0 or u >= graph.num_nodes or v >= graph.num_nodes:
+            raise GraphValidationError(f"edge ({u}, {v}) references a node outside the graph")
+        if not np.isfinite(w) or w <= 0:
+            raise GraphValidationError(f"edge ({u}, {v}) has non-positive weight {w}")
+        key = (u, v) if u < v else (v, u)
+        merged[key] = merged.get(key, 0.0) + w
+    return [(u, v, w) for (u, v), w in merged.items()]
+
+
+def assert_positive_weights(graph: Graph) -> None:
+    """Raise when any edge weight is non-positive or non-finite."""
+    for u, v, w in graph.weighted_edges():
+        if not np.isfinite(w) or w <= 0:
+            raise GraphValidationError(f"edge ({u}, {v}) has invalid weight {w}")
+
+
+def graph_summary(graph: Graph) -> dict:
+    """Return a dictionary of cheap structural statistics (used in reports)."""
+    degrees = graph.degrees()
+    weights = np.array([w for _, _, w in graph.weighted_edges()]) if graph.num_edges else np.zeros(0)
+    return {
+        "num_nodes": graph.num_nodes,
+        "num_edges": graph.num_edges,
+        "density": graph.density(),
+        "min_degree": int(degrees.min()) if degrees.size else 0,
+        "max_degree": int(degrees.max()) if degrees.size else 0,
+        "mean_degree": float(degrees.mean()) if degrees.size else 0.0,
+        "min_weight": float(weights.min()) if weights.size else 0.0,
+        "max_weight": float(weights.max()) if weights.size else 0.0,
+        "total_weight": float(weights.sum()) if weights.size else 0.0,
+        "connected": is_connected(graph),
+    }

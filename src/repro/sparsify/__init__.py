@@ -1,0 +1,72 @@
+"""Baseline sparsifiers and sparsifier quality metrics."""
+
+from repro.sparsify.fegrass import (
+    FeGrassConfig,
+    FeGrassResult,
+    FeGrassSparsifier,
+    effective_weight_spanning_tree,
+    fegrass_sparsify,
+)
+from repro.sparsify.grass import GrassConfig, GrassResult, GrassSparsifier, grass_sparsify
+from repro.sparsify.metrics import (
+    SparsifierReport,
+    distortion_statistics,
+    evaluate_sparsifier,
+    offtree_density,
+    relative_density,
+)
+from repro.sparsify.random_baseline import (
+    RandomIncrementalUpdater,
+    RandomSparsifier,
+    RandomSparsifierResult,
+    RandomUpdateResult,
+    random_sparsify,
+)
+from repro.sparsify.sampling import (
+    SamplingConfig,
+    SamplingResult,
+    SpectralSamplingSparsifier,
+    sampling_sparsify,
+)
+from repro.sparsify.spanning_tree import (
+    edge_stretches,
+    low_stretch_spanning_tree,
+    maximum_weight_spanning_tree,
+    minimum_resistance_spanning_tree,
+    off_tree_edges,
+    shortest_path_tree,
+    total_stretch,
+)
+
+__all__ = [
+    "GrassConfig",
+    "GrassResult",
+    "GrassSparsifier",
+    "grass_sparsify",
+    "FeGrassConfig",
+    "FeGrassResult",
+    "FeGrassSparsifier",
+    "fegrass_sparsify",
+    "effective_weight_spanning_tree",
+    "SamplingConfig",
+    "SamplingResult",
+    "SpectralSamplingSparsifier",
+    "sampling_sparsify",
+    "RandomSparsifier",
+    "RandomSparsifierResult",
+    "RandomIncrementalUpdater",
+    "RandomUpdateResult",
+    "random_sparsify",
+    "SparsifierReport",
+    "evaluate_sparsifier",
+    "relative_density",
+    "offtree_density",
+    "distortion_statistics",
+    "maximum_weight_spanning_tree",
+    "minimum_resistance_spanning_tree",
+    "low_stretch_spanning_tree",
+    "shortest_path_tree",
+    "edge_stretches",
+    "total_stretch",
+    "off_tree_edges",
+]

@@ -1,0 +1,113 @@
+"""Laplacian eigenvalue/eigenvector utilities.
+
+Thin wrappers around dense and sparse symmetric eigensolvers, with the
+grounding/projection details needed for singular Laplacians handled once here
+instead of in every caller.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.linalg
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.graphs.graph import Graph
+
+
+def dense_laplacian_spectrum(graph: Graph) -> Tuple[np.ndarray, np.ndarray]:
+    """Full eigen-decomposition of the Laplacian (small graphs only).
+
+    Returns ``(eigenvalues, eigenvectors)`` sorted ascending; the first
+    eigenvalue is ~0 with the constant eigenvector.
+    """
+    laplacian = graph.laplacian_matrix().toarray()
+    laplacian = 0.5 * (laplacian + laplacian.T)
+    eigenvalues, eigenvectors = scipy.linalg.eigh(laplacian)
+    return eigenvalues, eigenvectors
+
+
+def smallest_nonzero_eigenvalues(graph: Graph, k: int = 2, *, dense_limit: int = 2000,
+                                 tol: float = 1e-8) -> np.ndarray:
+    """Return the ``k`` smallest non-zero Laplacian eigenvalues.
+
+    The algebraic connectivity (Fiedler value) is ``result[0]``.
+    """
+    n = graph.num_nodes
+    if n < 2:
+        raise ValueError("need at least two nodes")
+    k = min(k, n - 1)
+    if n <= dense_limit:
+        eigenvalues, _ = dense_laplacian_spectrum(graph)
+        nonzero = eigenvalues[np.abs(eigenvalues) > max(tol, 1e-9 * max(eigenvalues.max(), 1.0))]
+        nonzero = np.sort(nonzero)
+        if nonzero.size < k:
+            # Pad defensively; callers treat the result as approximate anyway.
+            nonzero = np.concatenate([nonzero, np.full(k - nonzero.size, nonzero[-1] if nonzero.size else 0.0)])
+        return nonzero[:k]
+    laplacian = graph.laplacian_matrix()
+    # Shift-invert around sigma=0 targets the small end of the spectrum; ask
+    # for one extra eigenvalue to discard the zero mode.
+    values = spla.eigsh(laplacian + 1e-10 * sp.identity(n), k=k + 1, sigma=0, which="LM",
+                        return_eigenvectors=False, tol=tol)
+    values = np.sort(np.asarray(values, dtype=float))
+    return values[1:k + 1]
+
+
+def largest_eigenvalue(graph: Graph, *, tol: float = 1e-8) -> float:
+    """Return the largest Laplacian eigenvalue."""
+    n = graph.num_nodes
+    if n < 2:
+        raise ValueError("need at least two nodes")
+    if n <= 3:
+        eigenvalues, _ = dense_laplacian_spectrum(graph)
+        return float(eigenvalues[-1])
+    laplacian = graph.laplacian_matrix()
+    value = spla.eigsh(laplacian, k=1, which="LA", return_eigenvectors=False, tol=tol)
+    return float(value[0])
+
+
+def fiedler_vector(graph: Graph, *, dense_limit: int = 2000, tol: float = 1e-8) -> np.ndarray:
+    """Return the eigenvector of the second-smallest Laplacian eigenvalue."""
+    n = graph.num_nodes
+    if n < 2:
+        raise ValueError("need at least two nodes")
+    if n <= dense_limit:
+        eigenvalues, eigenvectors = dense_laplacian_spectrum(graph)
+        order = np.argsort(eigenvalues)
+        return eigenvectors[:, order[1]]
+    laplacian = graph.laplacian_matrix()
+    values, vectors = spla.eigsh(laplacian + 1e-10 * sp.identity(n), k=2, sigma=0, which="LM", tol=tol)
+    order = np.argsort(values)
+    return vectors[:, order[-1]]
+
+
+def spectral_embedding(graph: Graph, dimensions: int, *, dense_limit: int = 2000,
+                       tol: float = 1e-8) -> np.ndarray:
+    """Weighted eigensubspace embedding of Lemma 3.2: columns ``u_i / sqrt(λ_i)``.
+
+    Row distances of the returned ``(n, dimensions)`` matrix approximate
+    effective resistances when ``dimensions`` approaches ``n`` (equation (6)).
+    """
+    n = graph.num_nodes
+    dimensions = min(dimensions, n - 1)
+    if dimensions < 1:
+        raise ValueError("dimensions must be at least 1")
+    if n <= dense_limit:
+        eigenvalues, eigenvectors = dense_laplacian_spectrum(graph)
+        order = np.argsort(eigenvalues)
+        eigenvalues = eigenvalues[order]
+        eigenvectors = eigenvectors[:, order]
+        selected_values = eigenvalues[1:dimensions + 1]
+        selected_vectors = eigenvectors[:, 1:dimensions + 1]
+    else:
+        laplacian = graph.laplacian_matrix()
+        values, vectors = spla.eigsh(laplacian + 1e-10 * sp.identity(n), k=dimensions + 1, sigma=0,
+                                     which="LM", tol=tol)
+        order = np.argsort(values)
+        selected_values = values[order][1:dimensions + 1]
+        selected_vectors = vectors[:, order][:, 1:dimensions + 1]
+    safe = np.maximum(selected_values, 1e-15)
+    return selected_vectors / np.sqrt(safe)[np.newaxis, :]

@@ -1,0 +1,19 @@
+"""Edge-insertion streams and incremental experiment scenarios."""
+
+from repro.streams.edge_stream import (
+    locality_biased_edges,
+    mixed_edges,
+    random_pair_edges,
+    split_into_batches,
+)
+from repro.streams.scenarios import IncrementalScenario, ScenarioConfig, build_scenario
+
+__all__ = [
+    "random_pair_edges",
+    "locality_biased_edges",
+    "mixed_edges",
+    "split_into_batches",
+    "IncrementalScenario",
+    "ScenarioConfig",
+    "build_scenario",
+]

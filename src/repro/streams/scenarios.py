@@ -1,0 +1,145 @@
+"""End-to-end incremental-update scenarios reproducing the paper's protocol.
+
+Table II of the paper follows one protocol per test case:
+
+1. sparsify ``G(0)`` down to an initial off-tree density (≈ 10 %) → ``H(0)``;
+2. measure the initial condition number κ0 = κ(G(0), H(0)) and set it as the
+   quality target for all methods;
+3. stream a set of new edges (enough to raise the sparsifier's density to
+   ≈ 34 % if they were all blindly included), split into 10 batches;
+4. after all batches, compare how much density each method needed to get back
+   to κ0 and how long it took.
+
+:class:`IncrementalScenario` packages steps 1-3 so the Table II/III/Figure 4
+benches and the example scripts all run the identical protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.graphs.graph import Graph
+from repro.sparsify.grass import GrassConfig, GrassSparsifier
+from repro.sparsify.metrics import offtree_density
+from repro.spectral.condition import relative_condition_number
+from repro.streams.edge_stream import mixed_edges, split_into_batches
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_positive, check_positive_int
+
+WeightedEdge = Tuple[int, int, float]
+
+
+@dataclass
+class ScenarioConfig:
+    """Parameters of the incremental-update protocol."""
+
+    initial_offtree_density: float = 0.10
+    final_offtree_density: float = 0.34
+    num_iterations: int = 10
+    long_range_fraction: float = 0.15
+    locality_hops: int = 2
+    condition_dense_limit: int = 1500
+    grass_tree_method: str = "shortest_path"
+    seed: SeedLike = 0
+
+    def __post_init__(self) -> None:
+        check_positive(self.initial_offtree_density, "initial_offtree_density")
+        check_positive(self.final_offtree_density, "final_offtree_density")
+        if self.final_offtree_density <= self.initial_offtree_density:
+            raise ValueError("final_offtree_density must exceed initial_offtree_density")
+        check_positive_int(self.num_iterations, "num_iterations")
+
+
+@dataclass
+class IncrementalScenario:
+    """A fully prepared incremental experiment.
+
+    Attributes
+    ----------
+    graph:
+        The original graph ``G(0)``.
+    initial_sparsifier:
+        The GRASS-built initial sparsifier ``H(0)``.
+    initial_condition_number:
+        κ(G(0), H(0)) — the quality target every method must reach after the
+        updates (the "κ → ..." column of Table II shows how it degrades when
+        nothing is done).
+    batches:
+        The streamed edges, split into ``num_iterations`` batches.
+    config:
+        The protocol parameters used to build the scenario.
+    """
+
+    graph: Graph
+    initial_sparsifier: Graph
+    initial_condition_number: float
+    batches: List[List[WeightedEdge]]
+    config: ScenarioConfig
+
+    @property
+    def all_new_edges(self) -> List[WeightedEdge]:
+        """The full stream, flattened."""
+        return [edge for batch in self.batches for edge in batch]
+
+    @property
+    def final_graph(self) -> Graph:
+        """``G`` with every streamed edge included."""
+        return self.graph.union_with_edges(self.all_new_edges)
+
+    def initial_offtree_density(self) -> float:
+        """Off-tree density of ``H(0)``."""
+        return offtree_density(self.initial_sparsifier)
+
+    def degraded_condition_number(self) -> float:
+        """κ(G(final), H(0)) — quality if the sparsifier is never updated.
+
+        This is the second number of the "κ(L_G, L_H)" column of Table II
+        (e.g. "88 → 353" for G3_circuit): it motivates why the sparsifier
+        must be updated at all.
+        """
+        return relative_condition_number(self.final_graph, self.initial_sparsifier,
+                                         dense_limit=self.config.condition_dense_limit)
+
+
+def build_scenario(graph: Graph, config: Optional[ScenarioConfig] = None,
+                   *, initial_sparsifier: Optional[Graph] = None) -> IncrementalScenario:
+    """Prepare the paper's incremental protocol for ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Original graph ``G(0)``.
+    config:
+        Protocol parameters.
+    initial_sparsifier:
+        Optional pre-built ``H(0)``; by default a GRASS-style sparsifier at
+        ``config.initial_offtree_density`` is constructed.
+    """
+    config = config if config is not None else ScenarioConfig()
+    rng = as_rng(config.seed)
+
+    if initial_sparsifier is None:
+        grass_config = GrassConfig(target_offtree_density=config.initial_offtree_density,
+                                   tree_method=config.grass_tree_method,
+                                   seed=config.seed)
+        initial_sparsifier = GrassSparsifier(grass_config).sparsify(graph, evaluate_condition=False).sparsifier
+
+    initial_condition = relative_condition_number(graph, initial_sparsifier,
+                                                  dense_limit=config.condition_dense_limit)
+
+    # Stream size: enough new edges to push the sparsifier's off-tree density
+    # from the initial value to the "all edges included" value of the paper.
+    num_new_edges = int(round((config.final_offtree_density - config.initial_offtree_density)
+                              * graph.num_nodes))
+    num_new_edges = max(num_new_edges, config.num_iterations)
+    stream = mixed_edges(graph, num_new_edges, long_range_fraction=config.long_range_fraction,
+                         hops=config.locality_hops, seed=rng)
+    batches = split_into_batches(stream, config.num_iterations)
+    return IncrementalScenario(
+        graph=graph,
+        initial_sparsifier=initial_sparsifier,
+        initial_condition_number=initial_condition,
+        batches=batches,
+        config=config,
+    )

@@ -1,0 +1,23 @@
+"""Small shared utilities: timers, RNG handling, logging, validation."""
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.timing import Timer, timed
+from repro.utils.validation import (
+    check_edge_weights_positive,
+    check_node_index,
+    check_probability,
+    check_positive,
+    check_positive_int,
+)
+
+__all__ = [
+    "Timer",
+    "timed",
+    "as_rng",
+    "spawn_rngs",
+    "check_edge_weights_positive",
+    "check_node_index",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+]

@@ -1,0 +1,36 @@
+"""Logging configuration for the :mod:`repro` package.
+
+The library itself never configures the root logger; it only emits records on
+the ``repro`` logger hierarchy.  Experiment scripts and the benchmark harness
+call :func:`configure_logging` to get readable console output.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_PACKAGE_LOGGER_NAME = "repro"
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    ``get_logger("core.lrd")`` returns the ``repro.core.lrd`` logger.
+    """
+    if name is None or name == _PACKAGE_LOGGER_NAME:
+        return logging.getLogger(_PACKAGE_LOGGER_NAME)
+    if name.startswith(_PACKAGE_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_PACKAGE_LOGGER_NAME}.{name}")
+
+
+def configure_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a console handler to the package logger (idempotent)."""
+    logger = logging.getLogger(_PACKAGE_LOGGER_NAME)
+    logger.setLevel(level)
+    if not any(isinstance(handler, logging.StreamHandler) for handler in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        logger.addHandler(handler)
+    return logger

@@ -1,0 +1,74 @@
+"""Wall-clock timing helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer.
+
+    A ``Timer`` can be used either as a context manager::
+
+        timer = Timer()
+        with timer:
+            expensive_call()
+        print(timer.elapsed)
+
+    or through repeated :meth:`start` / :meth:`stop` calls; ``elapsed``
+    accumulates across uses, which is how the benchmark harness sums the cost
+    of the ten update iterations of Table II.
+    """
+
+    elapsed: float = 0.0
+    _started_at: float = field(default=0.0, repr=False)
+    _running: bool = field(default=False, repr=False)
+
+    def start(self) -> "Timer":
+        if self._running:
+            raise RuntimeError("Timer is already running")
+        self._started_at = time.perf_counter()
+        self._running = True
+        return self
+
+    def stop(self) -> float:
+        if not self._running:
+            raise RuntimeError("Timer is not running")
+        self.elapsed += time.perf_counter() - self._started_at
+        self._running = False
+        return self.elapsed
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._running = False
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+@contextmanager
+def timed() -> Iterator[Timer]:
+    """Context manager yielding a fresh started :class:`Timer`."""
+    timer = Timer()
+    timer.start()
+    try:
+        yield timer
+    finally:
+        if timer._running:
+            timer.stop()
+
+
+def time_call(func: Callable[[], T]) -> tuple[T, float]:
+    """Call ``func`` and return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = func()
+    return result, time.perf_counter() - start

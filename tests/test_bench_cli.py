@@ -1,0 +1,92 @@
+"""Tests for the benchmark CLI entry points (``python -m repro.bench.*``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import table1, table2, table3, figure4
+from repro.bench.figure4 import ascii_log_chart
+from repro.bench.records import Figure4Record, Table1Record, Table2Record, Table3Record
+
+
+class TestRecordDerivedFields:
+    def test_table1_setup_ratio(self):
+        record = Table1Record(case="x", paper_case="X", num_nodes=10, num_edges=20,
+                              grass_seconds=2.0, ingrass_setup_seconds=1.0, num_levels=5)
+        assert record.setup_ratio == pytest.approx(0.5)
+        assert record.as_dict()["setup_ratio"] == pytest.approx(0.5)
+        zero = Table1Record(case="x", paper_case="X", num_nodes=10, num_edges=20,
+                            grass_seconds=0.0, ingrass_setup_seconds=1.0, num_levels=5)
+        assert zero.setup_ratio == float("inf")
+
+    def test_table2_speedups(self):
+        record = Table2Record(
+            case="x", paper_case="X", num_nodes=10, num_edges=20,
+            initial_offtree_density=0.1, final_offtree_density_all_edges=0.34,
+            initial_condition_number=100.0, degraded_condition_number=300.0,
+            grass_density=0.11, ingrass_density=0.12, random_density=0.3,
+            grass_condition_number=95.0, ingrass_condition_number=105.0,
+            random_condition_number=99.0,
+            grass_seconds=10.0, ingrass_seconds=0.1, ingrass_setup_seconds=0.4,
+        )
+        assert record.speedup == pytest.approx(100.0)
+        assert record.speedup_including_setup == pytest.approx(20.0)
+        data = record.as_dict()
+        assert data["speedup"] == pytest.approx(100.0)
+        assert data["speedup_including_setup"] == pytest.approx(20.0)
+
+    def test_figure4_speedup(self):
+        record = Figure4Record(case="x", num_nodes=10, num_edges=20, grass_seconds=4.0,
+                               ingrass_update_seconds=0.02, ingrass_total_seconds=0.1)
+        assert record.speedup == pytest.approx(200.0)
+        assert record.as_dict()["speedup"] == pytest.approx(200.0)
+
+    def test_table3_as_dict(self):
+        record = Table3Record(initial_offtree_density=0.1, final_offtree_density_all_edges=0.3,
+                              initial_condition_number=50.0, degraded_condition_number=120.0,
+                              grass_density=0.11, ingrass_density=0.13)
+        assert record.as_dict()["grass_density"] == 0.11
+
+
+class TestAsciiChart:
+    def test_chart_handles_empty(self):
+        assert ascii_log_chart([]) == ""
+
+    def test_chart_scales_bars(self):
+        records = [
+            Figure4Record(case="a", num_nodes=10, num_edges=20, grass_seconds=10.0,
+                          ingrass_update_seconds=0.01, ingrass_total_seconds=0.1),
+        ]
+        chart = ascii_log_chart(records, width=40)
+        lines = [line for line in chart.splitlines() if "#" in line]
+        assert len(lines) == 3
+        # GRASS bar is the longest, the raw-update bar the shortest.
+        assert lines[0].count("#") >= lines[2].count("#") >= lines[1].count("#")
+
+
+@pytest.mark.slow
+class TestCliMains:
+    """End-to-end CLI runs on the smallest registered case."""
+
+    def test_table1_main(self, capsys):
+        assert table1.main(["--cases", "social_ws", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "social_ws" in out
+
+    def test_table2_main(self, capsys):
+        assert table2.main(["--cases", "social_ws", "--scale", "small", "--no-random"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "inGRASS-D" in out
+
+    def test_table3_main(self, capsys):
+        assert table3.main(["--case", "social_ws", "--densities", "0.12,0.08"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+
+    def test_figure4_main(self, capsys):
+        assert figure4.main(["--cases", "social_ws"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "#" in out

@@ -1,0 +1,107 @@
+"""Dedicated tests for the Krylov-subspace surrogate eigenvector module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, cycle_graph, grid_circuit_2d, path_graph
+from repro.spectral import (
+    KrylovBasis,
+    build_krylov_basis,
+    default_krylov_order,
+    krylov_resistance_matrix,
+)
+
+
+class TestDefaultOrder:
+    def test_grows_logarithmically(self):
+        assert default_krylov_order(2) >= 8
+        assert default_krylov_order(1000) <= default_krylov_order(100000)
+        assert default_krylov_order(10**9) <= 96
+
+    def test_respects_bounds(self):
+        assert default_krylov_order(10, minimum=5, maximum=7) in (5, 6, 7)
+        assert default_krylov_order(1) == 8
+
+
+class TestBuildBasis:
+    def test_vectors_are_orthonormal(self, small_grid):
+        basis = build_krylov_basis(small_grid, seed=0)
+        gram = basis.vectors.T @ basis.vectors
+        assert np.allclose(gram, np.eye(basis.order), atol=1e-8)
+
+    def test_vectors_orthogonal_to_constant(self, small_grid):
+        basis = build_krylov_basis(small_grid, seed=0)
+        column_sums = basis.vectors.sum(axis=0)
+        assert np.allclose(column_sums, 0.0, atol=1e-8)
+
+    def test_rayleigh_quotients_nonnegative_and_sorted(self, small_grid):
+        basis = build_krylov_basis(small_grid, seed=0)
+        assert np.all(basis.rayleigh >= 0.0)
+        assert np.all(np.diff(basis.rayleigh) >= -1e-9)
+
+    def test_rayleigh_matches_definition(self, small_grid):
+        basis = build_krylov_basis(small_grid, seed=0)
+        laplacian = small_grid.laplacian_matrix()
+        recomputed = np.einsum("ij,ij->j", basis.vectors, laplacian @ basis.vectors)
+        assert np.allclose(recomputed, basis.rayleigh, rtol=1e-6, atol=1e-9)
+
+    def test_requested_order_respected(self, small_grid):
+        basis = build_krylov_basis(small_grid, order=10, seed=0)
+        assert basis.order <= 10
+        assert basis.num_nodes == small_grid.num_nodes
+
+    def test_order_capped_by_graph_size(self):
+        graph = path_graph(5)
+        basis = build_krylov_basis(graph, order=50, seed=0)
+        assert basis.order <= 4
+
+    def test_smallest_ritz_value_approximates_fiedler(self, medium_grid):
+        """The smallest Ritz value should land within a factor of the true
+        algebraic connectivity (the filter concentrates on the low end)."""
+        from repro.spectral import smallest_nonzero_eigenvalues
+
+        basis = build_krylov_basis(medium_grid, seed=0)
+        fiedler = smallest_nonzero_eigenvalues(medium_grid, k=1)[0]
+        assert basis.rayleigh[0] <= 10 * fiedler
+        assert basis.rayleigh[0] >= fiedler * 0.5
+
+    def test_deterministic_for_seed(self, small_grid):
+        a = build_krylov_basis(small_grid, seed=3)
+        b = build_krylov_basis(small_grid, seed=3)
+        assert np.allclose(a.vectors, b.vectors)
+        assert np.allclose(a.rayleigh, b.rayleigh)
+
+    def test_rejects_tiny_graph(self):
+        with pytest.raises(ValueError):
+            build_krylov_basis(Graph(1))
+
+    def test_no_rayleigh_ritz_variant(self, small_grid):
+        basis = build_krylov_basis(small_grid, seed=0, rayleigh_ritz=False)
+        assert basis.order >= 4
+        assert np.all(basis.rayleigh >= 0)
+
+
+class TestEmbedding:
+    def test_embedding_shape_and_distances(self, small_grid):
+        basis = build_krylov_basis(small_grid, seed=0)
+        embedding = krylov_resistance_matrix(basis)
+        assert embedding.shape[0] == small_grid.num_nodes
+        # Squared row distance equals the surrogate resistance formula.
+        p, q = 0, small_grid.num_nodes - 1
+        b = np.zeros(small_grid.num_nodes)
+        b[p], b[q] = 1.0, -1.0
+        manual = sum(
+            float(basis.vectors[:, i] @ b) ** 2 / basis.rayleigh[i]
+            for i in range(basis.order)
+            if basis.rayleigh[i] > 0
+        )
+        diff = embedding[p] - embedding[q]
+        assert float(diff @ diff) == pytest.approx(manual, rel=1e-6)
+
+    def test_embedding_drops_null_directions(self):
+        graph = cycle_graph(8)
+        basis = build_krylov_basis(graph, seed=0)
+        embedding = krylov_resistance_matrix(basis)
+        assert np.all(np.isfinite(embedding))

@@ -1,0 +1,321 @@
+"""Tests for Laplacian algebra: solvers, eigen utilities, condition numbers,
+perturbation analysis and quadratic forms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph, complete_graph, cycle_graph, grid_circuit_2d, path_graph
+from repro.graphs.laplacian import (
+    grounded_laplacian,
+    is_laplacian,
+    laplacian_from_edges,
+    laplacian_quadratic_form,
+    normalized_laplacian,
+    regularized_laplacian,
+)
+from repro.spectral import (
+    GroundedSolver,
+    PCGSolver,
+    condition_estimate,
+    conjugate_gradient,
+    dense_laplacian_spectrum,
+    eigenvalue_perturbations,
+    fiedler_vector,
+    jacobi_preconditioner,
+    largest_eigenvalue,
+    pair_indicator,
+    project_out_constant,
+    quadratic_form,
+    rank_edges_by_exact_distortion,
+    rayleigh_quotient,
+    relative_condition_number,
+    sample_similarity,
+    smallest_nonzero_eigenvalues,
+    spectral_distortion_exact,
+    spectral_embedding,
+    spectral_similarity_epsilon,
+    total_relative_perturbation,
+    weighted_eigensubspace,
+)
+from repro.spectral.condition import condition_number_upper_bound_from_distortions
+
+
+class TestLaplacianHelpers:
+    def test_laplacian_from_edges_matches_graph(self, small_grid):
+        us, vs, ws = small_grid.edge_arrays()
+        direct = laplacian_from_edges(small_grid.num_nodes, us, vs, ws)
+        assert abs(direct - small_grid.laplacian_matrix()).max() < 1e-12
+
+    def test_laplacian_from_edges_length_mismatch(self):
+        with pytest.raises(ValueError):
+            laplacian_from_edges(3, [0], [1, 2], [1.0])
+
+    def test_grounded_laplacian_spd(self, small_grid):
+        reduced, keep = grounded_laplacian(small_grid.laplacian_matrix(), ground=0)
+        assert reduced.shape == (small_grid.num_nodes - 1, small_grid.num_nodes - 1)
+        assert 0 not in keep
+        eigenvalues = np.linalg.eigvalsh(reduced.toarray())
+        assert eigenvalues.min() > 0
+
+    def test_grounded_laplacian_bad_ground(self, small_grid):
+        with pytest.raises(ValueError):
+            grounded_laplacian(small_grid.laplacian_matrix(), ground=10**6)
+
+    def test_is_laplacian(self, small_grid):
+        assert is_laplacian(small_grid.laplacian_matrix())
+        assert not is_laplacian(small_grid.adjacency_matrix())
+
+    def test_normalized_laplacian_spectrum_bounded(self, small_grid):
+        normalized = normalized_laplacian(small_grid)
+        eigenvalues = np.linalg.eigvalsh(normalized.toarray())
+        assert eigenvalues.min() > -1e-9
+        assert eigenvalues.max() < 2 + 1e-9
+
+    def test_regularized_laplacian(self, small_grid):
+        shifted = regularized_laplacian(small_grid.laplacian_matrix(), 0.5)
+        assert np.allclose(shifted.diagonal(), small_grid.laplacian_matrix().diagonal() + 0.5)
+        with pytest.raises(ValueError):
+            regularized_laplacian(small_grid.laplacian_matrix(), -1.0)
+
+    def test_quadratic_form_helper(self, small_grid, rng):
+        x = rng.standard_normal(small_grid.num_nodes)
+        assert laplacian_quadratic_form(small_grid.laplacian_matrix(), x) == pytest.approx(
+            quadratic_form(small_grid, x), rel=1e-9
+        )
+
+
+class TestGroundedSolver:
+    def test_solution_satisfies_system(self, small_grid, rng):
+        solver = GroundedSolver.from_graph(small_grid)
+        b = rng.standard_normal(small_grid.num_nodes)
+        b -= b.mean()
+        x = solver.solve(b)
+        residual = small_grid.laplacian_matrix() @ x - b
+        assert np.linalg.norm(residual) < 1e-6 * max(np.linalg.norm(b), 1.0)
+        assert abs(x.mean()) < 1e-9
+
+    def test_solve_many(self, small_grid, rng):
+        solver = GroundedSolver.from_graph(small_grid)
+        b = rng.standard_normal((small_grid.num_nodes, 3))
+        x = solver.solve_many(b)
+        assert x.shape == b.shape
+
+    def test_rejects_single_node(self):
+        with pytest.raises(ValueError):
+            GroundedSolver.from_graph(Graph(1))
+
+    def test_wrong_rhs_length(self, small_grid):
+        solver = GroundedSolver.from_graph(small_grid)
+        with pytest.raises(ValueError):
+            solver.solve(np.zeros(3))
+
+    def test_linear_operator(self, small_grid, rng):
+        solver = GroundedSolver.from_graph(small_grid)
+        op = solver.as_linear_operator()
+        b = rng.standard_normal(small_grid.num_nodes)
+        assert np.allclose(op.matvec(b), solver.solve(b))
+
+
+class TestConjugateGradient:
+    def test_unpreconditioned_converges(self, small_grid, rng):
+        laplacian = small_grid.laplacian_matrix()
+        b = rng.standard_normal(small_grid.num_nodes)
+        report = conjugate_gradient(lambda x: laplacian @ x, b, tol=1e-8)
+        assert report.converged
+        assert np.linalg.norm(laplacian @ report.solution - project_out_constant(b)) < 1e-5
+
+    def test_jacobi_preconditioner_reduces_iterations(self, medium_grid, rng):
+        laplacian = medium_grid.laplacian_matrix()
+        b = rng.standard_normal(medium_grid.num_nodes)
+        plain = conjugate_gradient(lambda x: laplacian @ x, b, tol=1e-8)
+        preconditioned = conjugate_gradient(
+            lambda x: laplacian @ x, b, preconditioner=jacobi_preconditioner(laplacian), tol=1e-8
+        )
+        assert preconditioned.converged
+        assert preconditioned.iterations <= plain.iterations + 5
+
+    def test_sparsifier_preconditioner_beats_plain(self, grid_with_sparsifier, rng):
+        graph, sparsifier = grid_with_sparsifier
+        b = rng.standard_normal(graph.num_nodes)
+        plain = PCGSolver(graph).solve(b)
+        preconditioned = PCGSolver(graph, sparsifier).solve(b)
+        assert preconditioned.converged
+        assert preconditioned.iterations < plain.iterations
+
+    def test_zero_rhs(self, small_grid):
+        laplacian = small_grid.laplacian_matrix()
+        report = conjugate_gradient(lambda x: laplacian @ x, np.zeros(small_grid.num_nodes))
+        assert report.converged
+        assert report.iterations == 0
+
+
+class TestEigen:
+    def test_path_fiedler_value(self):
+        # Path Laplacian eigenvalues are 2 - 2 cos(pi k / n).
+        n = 10
+        graph = path_graph(n)
+        lam2 = smallest_nonzero_eigenvalues(graph, k=1)[0]
+        assert lam2 == pytest.approx(2 - 2 * np.cos(np.pi / n), rel=1e-6)
+
+    def test_complete_graph_spectrum(self):
+        graph = complete_graph(6)
+        eigenvalues, _ = dense_laplacian_spectrum(graph)
+        assert eigenvalues[0] == pytest.approx(0.0, abs=1e-9)
+        assert np.allclose(eigenvalues[1:], 6.0)
+
+    def test_largest_eigenvalue_bound(self, small_grid):
+        # lambda_max <= 2 * max weighted degree.
+        lam_max = largest_eigenvalue(small_grid)
+        assert lam_max <= 2 * small_grid.weighted_degrees().max() + 1e-9
+
+    def test_fiedler_vector_partitions_path(self):
+        vector = fiedler_vector(path_graph(20))
+        signs = np.sign(vector)
+        # The Fiedler vector of a path changes sign exactly once.
+        assert np.count_nonzero(np.diff(signs) != 0) == 1
+
+    def test_spectral_embedding_distances_approximate_resistance(self, small_grid):
+        from repro.spectral import ExactResistanceCalculator
+
+        embedding = spectral_embedding(small_grid, dimensions=small_grid.num_nodes - 1)
+        calc = ExactResistanceCalculator(small_grid)
+        for p, q in [(0, 5), (3, 17), (10, 43)]:
+            diff = embedding[p] - embedding[q]
+            assert float(diff @ diff) == pytest.approx(calc.resistance(p, q), rel=1e-6)
+
+
+class TestConditionNumber:
+    def test_identity_sparsifier(self, small_grid):
+        assert relative_condition_number(small_grid, small_grid) == pytest.approx(1.0, rel=1e-6)
+
+    def test_scaled_sparsifier(self, small_grid):
+        scaled = Graph(small_grid.num_nodes, [(u, v, 2.0 * w) for u, v, w in small_grid.weighted_edges()])
+        # Uniform scaling by 2 gives lambda in {0.5}, so kappa stays 1.
+        assert relative_condition_number(small_grid, scaled) == pytest.approx(1.0, rel=1e-6)
+
+    def test_subgraph_sparsifier_at_least_one(self, grid_with_sparsifier):
+        graph, sparsifier = grid_with_sparsifier
+        kappa = relative_condition_number(graph, sparsifier)
+        assert kappa >= 1.0 - 1e-9
+
+    def test_tree_worse_than_denser_sparsifier(self, medium_grid):
+        from repro.sparsify import GrassConfig, GrassSparsifier, maximum_weight_spanning_tree
+
+        tree = maximum_weight_spanning_tree(medium_grid)
+        denser = GrassSparsifier(GrassConfig(target_offtree_density=0.3, seed=0)).sparsify(
+            medium_grid, evaluate_condition=False
+        ).sparsifier
+        assert relative_condition_number(medium_grid, tree) > relative_condition_number(medium_grid, denser)
+
+    def test_dense_and_lanczos_paths_agree(self, medium_grid, grid_with_sparsifier):
+        graph, sparsifier = grid_with_sparsifier
+        dense = condition_estimate(graph, sparsifier, dense_limit=10**6)
+        iterative = condition_estimate(graph, sparsifier, dense_limit=1)
+        assert iterative.condition_number == pytest.approx(dense.condition_number, rel=0.05)
+
+    def test_epsilon_relation(self, grid_with_sparsifier):
+        graph, sparsifier = grid_with_sparsifier
+        kappa = relative_condition_number(graph, sparsifier)
+        epsilon = spectral_similarity_epsilon(graph, sparsifier)
+        assert epsilon == pytest.approx(np.sqrt(kappa), rel=1e-6)
+
+    def test_node_mismatch_raises(self, small_grid):
+        with pytest.raises(ValueError):
+            relative_condition_number(small_grid, Graph(3, [(0, 1, 1.0), (1, 2, 1.0)]))
+
+    def test_distortion_upper_bound_monotone(self):
+        assert condition_number_upper_bound_from_distortions(np.array([])) == 1.0
+        small = condition_number_upper_bound_from_distortions(np.array([0.1, 0.2]))
+        large = condition_number_upper_bound_from_distortions(np.array([0.1, 0.2, 5.0]))
+        assert large > small
+
+
+class TestPerturbation:
+    def test_pair_indicator(self):
+        b = pair_indicator(5, 1, 3)
+        assert b[1] == 1.0 and b[3] == -1.0 and b.sum() == 0.0
+        with pytest.raises(ValueError):
+            pair_indicator(5, 2, 2)
+
+    def test_perturbations_sum_to_weight_times_two(self, small_grid):
+        # sum_i (u_i^T b)^2 = ||b||^2 = 2, so total perturbation = 2 w.
+        deltas = eigenvalue_perturbations(small_grid, 0, 5, weight=3.0)
+        assert deltas.sum() == pytest.approx(6.0, rel=1e-9)
+
+    def test_distortion_equals_weight_times_resistance(self, small_grid):
+        from repro.spectral import ExactResistanceCalculator
+
+        resistance = ExactResistanceCalculator(small_grid).resistance(2, 9)
+        distortion = spectral_distortion_exact(small_grid, 2, 9, weight=2.5)
+        assert distortion == pytest.approx(2.5 * resistance, rel=1e-6)
+
+    def test_lemma32_equality(self, small_grid):
+        # Sum of relative perturbations equals the spectral distortion (K = N).
+        distortion = spectral_distortion_exact(small_grid, 1, 20, weight=1.7)
+        total = total_relative_perturbation(small_grid, 1, 20, weight=1.7)
+        assert total == pytest.approx(distortion, rel=1e-6)
+
+    def test_weighted_eigensubspace_shape(self, small_grid):
+        subspace = weighted_eigensubspace(small_grid, 5)
+        assert subspace.shape == (small_grid.num_nodes, 4)
+        with pytest.raises(ValueError):
+            weighted_eigensubspace(small_grid, 1)
+
+    def test_rank_edges_by_exact_distortion(self, small_grid):
+        candidates = [(0, 1, 1.0), (0, small_grid.num_nodes - 1, 1.0)]
+        order = rank_edges_by_exact_distortion(small_grid, candidates)
+        assert order[0] == 1  # the long-range edge distorts more
+
+
+class TestQuadraticForms:
+    def test_quadratic_form_edges(self):
+        graph = Graph(3, [(0, 1, 2.0), (1, 2, 1.0)])
+        x = np.array([0.0, 1.0, 3.0])
+        assert quadratic_form(graph, x) == pytest.approx(2 * 1 + 1 * 4)
+
+    def test_quadratic_form_wrong_length(self, small_grid):
+        with pytest.raises(ValueError):
+            quadratic_form(small_grid, np.zeros(3))
+
+    def test_rayleigh_quotient_bounds(self, small_grid, rng):
+        x = rng.standard_normal(small_grid.num_nodes)
+        value = rayleigh_quotient(small_grid, x)
+        assert 0.0 <= value <= largest_eigenvalue(small_grid) + 1e-6
+
+    def test_sample_similarity_lower_bounds_condition(self, grid_with_sparsifier):
+        graph, sparsifier = grid_with_sparsifier
+        kappa = relative_condition_number(graph, sparsifier)
+        sample = sample_similarity(graph, sparsifier, num_probes=16, seed=0)
+        assert sample.empirical_condition_number <= kappa * 1.05
+        assert sample.min_ratio > 0
+
+    def test_sample_similarity_node_mismatch(self, small_grid):
+        with pytest.raises(ValueError):
+            sample_similarity(small_grid, Graph(3, [(0, 1, 1.0), (1, 2, 1.0)]))
+
+
+class TestConditionProperties:
+    @given(st.integers(min_value=6, max_value=14), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_adding_edges_to_sparsifier_never_hurts(self, size, seed):
+        """Adding a graph edge (with its graph weight) to a subgraph sparsifier
+        cannot increase the relative condition number's lambda_max and keeps
+        kappa finite."""
+        rng = np.random.default_rng(seed)
+        graph = grid_circuit_2d(size, seed=seed)
+        from repro.sparsify import maximum_weight_spanning_tree, off_tree_edges
+
+        tree = maximum_weight_spanning_tree(graph)
+        candidates = off_tree_edges(graph, tree)
+        if not candidates:
+            return
+        kappa_tree = relative_condition_number(graph, tree)
+        augmented = tree.copy()
+        u, v, w = candidates[int(rng.integers(0, len(candidates)))]
+        augmented.add_edge(u, v, w)
+        kappa_aug = relative_condition_number(graph, augmented)
+        assert kappa_aug <= kappa_tree * (1 + 1e-6)

@@ -1,0 +1,114 @@
+"""Tests for edge-stream generation and incremental scenarios."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import canonical_edge, grid_circuit_2d
+from repro.streams import (
+    ScenarioConfig,
+    build_scenario,
+    locality_biased_edges,
+    mixed_edges,
+    random_pair_edges,
+    split_into_batches,
+)
+
+
+class TestEdgeStreams:
+    def test_random_pairs_are_new_and_distinct(self, medium_grid):
+        edges = random_pair_edges(medium_grid, 40, seed=0)
+        assert len(edges) == 40
+        keys = {canonical_edge(u, v) for u, v, _ in edges}
+        assert len(keys) == 40
+        for u, v, w in edges:
+            assert not medium_grid.has_edge(u, v)
+            assert u != v
+            assert w > 0
+
+    def test_random_pairs_respect_exclude(self, medium_grid):
+        first = random_pair_edges(medium_grid, 10, seed=1)
+        exclude = {canonical_edge(u, v) for u, v, _ in first}
+        second = random_pair_edges(medium_grid, 10, seed=1, exclude=set(exclude))
+        assert not exclude & {canonical_edge(u, v) for u, v, _ in second}
+
+    def test_random_pairs_deterministic(self, medium_grid):
+        assert random_pair_edges(medium_grid, 15, seed=3) == random_pair_edges(medium_grid, 15, seed=3)
+
+    def test_zero_count(self, medium_grid):
+        assert random_pair_edges(medium_grid, 0) == []
+        assert locality_biased_edges(medium_grid, 0) == []
+        assert mixed_edges(medium_grid, 0) == []
+
+    def test_locality_biased_edges_are_new(self, medium_grid):
+        edges = locality_biased_edges(medium_grid, 30, hops=2, seed=2)
+        assert len(edges) == 30
+        for u, v, _ in edges:
+            assert not medium_grid.has_edge(u, v)
+
+    def test_locality_bias_is_actually_local(self, medium_grid):
+        """Locality-biased endpoints should be closer (in hops) than random pairs on average."""
+        import networkx as nx
+
+        nx_graph = medium_grid.to_networkx()
+        local = locality_biased_edges(medium_grid, 25, hops=2, seed=4)
+        random_edges = random_pair_edges(medium_grid, 25, seed=4)
+
+        def mean_distance(edges):
+            return np.mean([nx.shortest_path_length(nx_graph, u, v) for u, v, _ in edges])
+
+        assert mean_distance(local) < mean_distance(random_edges)
+
+    def test_mixed_edges_blend(self, medium_grid):
+        edges = mixed_edges(medium_grid, 20, long_range_fraction=0.5, seed=5)
+        assert len(edges) == 20
+        with pytest.raises(ValueError):
+            mixed_edges(medium_grid, 10, long_range_fraction=1.5)
+
+    def test_split_into_batches(self):
+        edges = [(0, i, 1.0) for i in range(1, 11)]
+        batches = split_into_batches(edges, 3)
+        assert len(batches) == 3
+        assert sum(len(batch) for batch in batches) == 10
+        assert [e for batch in batches for e in batch] == edges
+
+    def test_split_more_batches_than_edges(self):
+        edges = [(0, 1, 1.0), (0, 2, 1.0)]
+        batches = split_into_batches(edges, 10)
+        assert sum(len(batch) for batch in batches) == 2
+
+
+class TestScenarios:
+    def test_build_scenario_structure(self):
+        graph = grid_circuit_2d(12, seed=0)
+        config = ScenarioConfig(initial_offtree_density=0.1, final_offtree_density=0.3,
+                                num_iterations=5, condition_dense_limit=400, seed=0)
+        scenario = build_scenario(graph, config)
+        assert len(scenario.batches) == 5
+        assert scenario.initial_condition_number >= 1.0
+        assert scenario.initial_offtree_density() == pytest.approx(0.1, abs=0.02)
+        expected_stream = int(round((0.3 - 0.1) * graph.num_nodes))
+        assert len(scenario.all_new_edges) == expected_stream
+        # The final graph includes every streamed edge.
+        assert scenario.final_graph.num_edges == graph.num_edges + expected_stream
+
+    def test_degraded_condition_exceeds_initial(self):
+        graph = grid_circuit_2d(12, seed=1)
+        scenario = build_scenario(graph, ScenarioConfig(condition_dense_limit=400, seed=1))
+        assert scenario.degraded_condition_number() >= scenario.initial_condition_number * 0.99
+
+    def test_custom_initial_sparsifier(self):
+        graph = grid_circuit_2d(10, seed=2)
+        from repro.sparsify import random_sparsify
+
+        initial = random_sparsify(graph, relative_density=0.7, seed=0)
+        scenario = build_scenario(graph, ScenarioConfig(condition_dense_limit=400, seed=2),
+                                  initial_sparsifier=initial)
+        assert scenario.initial_sparsifier is initial
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(initial_offtree_density=0.3, final_offtree_density=0.2)
+        with pytest.raises(ValueError):
+            ScenarioConfig(num_iterations=0)
