@@ -13,7 +13,12 @@ import pytest
 from repro.bench import HarnessConfig
 from repro.bench.datasets import build_dataset
 from repro.sparsify import GrassConfig, GrassSparsifier
-from repro.streams import ScenarioConfig, build_scenario
+from repro.streams import (
+    DynamicScenarioConfig,
+    ScenarioConfig,
+    build_dynamic_scenario,
+    build_scenario,
+)
 
 #: Harness configuration used across the benchmark drivers.
 BENCH_CONFIG = HarnessConfig(scale="small", seed=0, condition_dense_limit=500)
@@ -51,3 +56,17 @@ def primary_scenario(primary_graph):
         seed=0,
     )
     return build_scenario(primary_graph, scenario_config)
+
+
+@pytest.fixture(scope="session")
+def churn_scenario(primary_graph):
+    """Fully dynamic 10-iteration scenario with >=30% deletions on the primary graph."""
+    scenario_config = DynamicScenarioConfig(
+        initial_offtree_density=0.10,
+        final_offtree_density=0.34,
+        num_iterations=10,
+        deletion_fraction=0.35,
+        condition_dense_limit=BENCH_CONFIG.condition_dense_limit,
+        seed=0,
+    )
+    return build_dynamic_scenario(primary_graph, scenario_config)

@@ -26,6 +26,7 @@ def test_lrd_decomposition_time(benchmark, primary_sparsifier, growth):
     assert hierarchy.levels[-1].num_clusters == 1
 
 
+@pytest.mark.smoke
 def test_larger_growth_means_fewer_levels(primary_sparsifier):
     """A faster-growing diameter schedule produces a shallower hierarchy."""
     shallow = lrd_decompose(primary_sparsifier, LRDConfig(growth_factor=4.0, seed=0))

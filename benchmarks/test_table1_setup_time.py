@@ -14,7 +14,7 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.datasets import QUICK_CASES, build_dataset
-from repro.core import InGrassConfig, InGrassSparsifier, LRDConfig, run_setup
+from repro.core import InGrassConfig, LRDConfig, run_setup
 from repro.sparsify import GrassConfig, GrassSparsifier
 
 
@@ -34,6 +34,7 @@ def test_grass_from_scratch_time(benchmark, case):
     assert result.sparsifier.num_edges >= graph.num_nodes - 1
 
 
+@pytest.mark.smoke
 @pytest.mark.parametrize("case", QUICK_CASES)
 def test_ingrass_setup_time(benchmark, case):
     """Time the inGRASS setup phase on the initial sparsifier (Table I, 'Setup')."""
@@ -48,6 +49,7 @@ def test_ingrass_setup_time(benchmark, case):
     assert setup.num_levels >= 1
 
 
+@pytest.mark.smoke
 def test_setup_time_same_order_as_grass(primary_graph):
     """Shape check: the setup cost stays within a small factor of one GRASS run."""
     from repro.utils.timing import time_call

@@ -15,15 +15,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.harness import (
-    _run_grass_incremental,
-    _run_ingrass_incremental,
-    _run_random_incremental,
-)
+from repro.bench.harness import _run_grass_incremental, _run_ingrass_incremental
 from repro.core import InGrassConfig, InGrassSparsifier, LRDConfig
 from repro.sparsify import GrassConfig, GrassSparsifier, offtree_density
 
 
+@pytest.mark.smoke
 def test_ingrass_ten_iteration_updates(benchmark, primary_scenario):
     """Time the inGRASS side: setup once, then stream all ten batches (Table II, 'inGRASS-T')."""
 

@@ -18,7 +18,7 @@ import argparse
 from repro import InGrassConfig, InGrassSparsifier, relative_condition_number
 from repro.graphs import fe_mesh_2d
 from repro.sparsify import GrassConfig, GrassSparsifier, offtree_density
-from repro.streams import locality_biased_edges, mixed_edges, split_into_batches
+from repro.streams import mixed_edges, split_into_batches
 
 
 def main() -> None:

@@ -27,7 +27,6 @@ from repro.bench.harness import (
     _run_random_incremental,
 )
 from repro.graphs import grid_circuit_3d
-from repro.sparsify import offtree_density
 from repro.streams import ScenarioConfig, build_scenario
 
 

@@ -22,6 +22,7 @@ from repro.core import (
     LRDConfig,
     ResistanceEmbedding,
     lrd_decompose,
+    run_removal,
     run_setup,
     run_update,
 )
@@ -34,7 +35,14 @@ from repro.sparsify import (
     relative_density,
 )
 from repro.spectral import effective_resistance, relative_condition_number
-from repro.streams import ScenarioConfig, build_scenario
+from repro.streams import (
+    DynamicScenarioConfig,
+    MixedBatch,
+    ScenarioConfig,
+    build_churn_scenario,
+    build_dynamic_scenario,
+    build_scenario,
+)
 
 __version__ = "1.0.0"
 
@@ -47,6 +55,7 @@ __all__ = [
     "lrd_decompose",
     "run_setup",
     "run_update",
+    "run_removal",
     "GrassConfig",
     "GrassSparsifier",
     "evaluate_sparsifier",
@@ -56,5 +65,9 @@ __all__ = [
     "relative_condition_number",
     "ScenarioConfig",
     "build_scenario",
+    "MixedBatch",
+    "DynamicScenarioConfig",
+    "build_dynamic_scenario",
+    "build_churn_scenario",
     "__version__",
 ]

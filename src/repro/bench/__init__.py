@@ -11,6 +11,8 @@ from repro.bench.datasets import (
 )
 from repro.bench.harness import (
     HarnessConfig,
+    run_churn,
+    run_churn_case,
     run_figure4,
     run_table1,
     run_table1_case,
@@ -20,6 +22,7 @@ from repro.bench.harness import (
 )
 from repro.bench.records import (
     AblationRecord,
+    ChurnRecord,
     Figure4Record,
     Table1Record,
     Table2Record,
@@ -42,10 +45,13 @@ __all__ = [
     "run_table2_case",
     "run_table3",
     "run_figure4",
+    "run_churn",
+    "run_churn_case",
     "Table1Record",
     "Table2Record",
     "Table3Record",
     "Figure4Record",
+    "ChurnRecord",
     "AblationRecord",
     "format_table",
     "format_value",

@@ -10,7 +10,7 @@ the same structural family (see DESIGN.md §2).  Each entry scales with a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.graphs.generators import (
     airfoil_mesh,

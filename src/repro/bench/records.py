@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import List, Optional
 
 
 @dataclass
@@ -110,6 +109,46 @@ class Figure4Record:
     def as_dict(self) -> dict:
         data = asdict(self)
         data["speedup"] = self.speedup
+        return data
+
+
+@dataclass
+class ChurnRecord:
+    """One row of the churn benchmark: fully dynamic insert/delete streams.
+
+    This goes beyond the paper: the stream mixes edge deletions into the
+    Table II protocol and measures whether the maintained sparsifier stays
+    connected and within a κ bound at *every* iteration, not just at the end.
+    """
+
+    case: str
+    paper_case: str
+    num_nodes: int
+    num_edges: int
+    deletion_fraction: float
+    num_iterations: int
+    insertions: int
+    deletions: int
+    sparsifier_removals: int
+    repair_edges: int
+    target_condition_number: float
+    max_condition_number: float
+    final_condition_number: float
+    final_offtree_density: float
+    stayed_connected: bool
+    ingrass_seconds: float
+    ingrass_setup_seconds: float
+
+    @property
+    def kappa_ratio(self) -> float:
+        """Worst per-iteration κ relative to the target (acceptance: <= 2)."""
+        if self.target_condition_number <= 0:
+            return float("inf")
+        return self.max_condition_number / self.target_condition_number
+
+    def as_dict(self) -> dict:
+        data = asdict(self)
+        data["kappa_ratio"] = self.kappa_ratio
         return data
 
 

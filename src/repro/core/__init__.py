@@ -10,16 +10,24 @@ from repro.core.distortion import (
 from repro.core.embedding import EmbeddingStats, ResistanceEmbedding
 from repro.core.filtering import FilterAction, FilterDecision, FilterSummary, SimilarityFilter
 from repro.core.hierarchy import ClusterHierarchy, LRDLevel
-from repro.core.incremental import InGrassSparsifier, IterationRecord
+from repro.core.incremental import InGrassSparsifier, IterationRecord, MixedUpdateResult
 from repro.core.lrd import lrd_decompose
 from repro.core.setup import SetupResult, run_setup
-from repro.core.update import UpdateResult, run_update
+from repro.core.update import (
+    KappaGuardReport,
+    RemovalResult,
+    UpdateResult,
+    run_kappa_guard,
+    run_removal,
+    run_update,
+)
 
 __all__ = [
     "InGrassConfig",
     "LRDConfig",
     "InGrassSparsifier",
     "IterationRecord",
+    "MixedUpdateResult",
     "lrd_decompose",
     "ClusterHierarchy",
     "LRDLevel",
@@ -37,4 +45,8 @@ __all__ = [
     "run_setup",
     "UpdateResult",
     "run_update",
+    "RemovalResult",
+    "run_removal",
+    "KappaGuardReport",
+    "run_kappa_guard",
 ]

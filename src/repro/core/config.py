@@ -96,6 +96,31 @@ class InGrassConfig:
     max_fill_fraction:
         Upper bound on how many of the streamed edges may be added per update
         call, as a fraction of the batch (safety valve; 1.0 = unlimited).
+    max_repair_edges_per_removal:
+        Deletion path: cap on how many replacement edges the local repair
+        step may admit per sparsifier edge removed (connectivity repair is
+        exempt — the sparsifier is always reconnected).
+    removal_diameter_inflation:
+        Deletion path: multiplicative inflation applied to the cached cluster
+        diameters containing both endpoints of a removed sparsifier edge
+        (resistances can only grow under removals, so the cached upper bounds
+        must be stretched to stay conservative).
+    kappa_guard_factor:
+        Deletion path: when set, after a removal batch the driver measures
+        κ(G, H) and keeps admitting the most-distorting off-sparsifier edges
+        until κ <= ``kappa_guard_factor * target`` (or the round budget runs
+        out).  ``None`` disables the guard (pure O(log N) updates).
+    kappa_guard_max_rounds:
+        Maximum guard iterations per removal batch.
+    kappa_guard_batch:
+        Edges admitted per guard round.
+    kappa_guard_dense_limit:
+        Node-count threshold below which the guard uses the dense eigensolver.
+    resetup_after_removals:
+        When set, the incremental driver re-runs the setup phase (fresh LRD
+        hierarchy + embedding) once this many sparsifier edges have been
+        removed since the last setup — the coarse-grained refresh that keeps
+        long deletion streams accurate.  ``None`` never refreshes.
     seed:
         Seed for stochastic components.
     """
@@ -107,6 +132,13 @@ class InGrassConfig:
     distortion_threshold: float = 0.0
     redistribute_intra_cluster_weight: bool = True
     max_fill_fraction: float = 1.0
+    max_repair_edges_per_removal: int = 2
+    removal_diameter_inflation: float = 1.25
+    kappa_guard_factor: Optional[float] = None
+    kappa_guard_max_rounds: int = 6
+    kappa_guard_batch: int = 8
+    kappa_guard_dense_limit: int = 1500
+    resetup_after_removals: Optional[int] = None
     seed: SeedLike = 0
 
     def __post_init__(self) -> None:
@@ -119,3 +151,16 @@ class InGrassConfig:
             raise ValueError("distortion_threshold must be non-negative")
         if not 0.0 < self.max_fill_fraction <= 1.0:
             raise ValueError("max_fill_fraction must lie in (0, 1]")
+        if self.max_repair_edges_per_removal < 0:
+            raise ValueError("max_repair_edges_per_removal must be non-negative")
+        if self.removal_diameter_inflation < 1.0:
+            raise ValueError("removal_diameter_inflation must be >= 1")
+        if self.kappa_guard_factor is not None:
+            check_positive(self.kappa_guard_factor, "kappa_guard_factor")
+            if self.kappa_guard_factor < 1.0:
+                raise ValueError("kappa_guard_factor must be >= 1")
+        check_positive_int(self.kappa_guard_max_rounds, "kappa_guard_max_rounds")
+        check_positive_int(self.kappa_guard_batch, "kappa_guard_batch")
+        check_positive_int(self.kappa_guard_dense_limit, "kappa_guard_dense_limit")
+        if self.resetup_after_removals is not None:
+            check_positive_int(self.resetup_after_removals, "resetup_after_removals")

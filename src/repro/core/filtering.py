@@ -15,13 +15,16 @@ whether it is *spectrally unique* enough to enter the sparsifier:
 
 The cluster-pair connectivity map is the operational face of the paper's
 "multilevel sparse data structure": one hash map per filtering level, keyed by
-cluster pairs, valued with a representative sparsifier edge.
+cluster pairs, valued with the sparsifier edges realising that connection.
+Keeping *all* realising edges (rather than one representative) lets the fully
+dynamic update path invalidate the map in ``O(1)`` when a sparsifier edge is
+deleted — see :meth:`SimilarityFilter.notify_edge_removed`.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -99,8 +102,10 @@ class SimilarityFilter:
         self._level_index = filtering_level
         self._labels = hierarchy.level(filtering_level).labels
         self._redistribute = redistribute_intra_cluster_weight
-        self._connectivity: Dict[ClusterPair, Tuple[int, int]] = {}
-        self._intra_cluster_edges: Dict[int, List[Tuple[int, int]]] = defaultdict(list)
+        # Cluster pair -> ordered set of sparsifier edges realising the
+        # connection (dict used as an ordered set for O(1) add/discard).
+        self._connectivity: Dict[ClusterPair, Dict[Tuple[int, int], None]] = {}
+        self._intra_cluster_edges: Dict[int, Dict[Tuple[int, int], None]] = defaultdict(dict)
         self._rebuild_connectivity()
 
     # ------------------------------------------------------------------ #
@@ -123,23 +128,101 @@ class SimilarityFilter:
         self._connectivity.clear()
         self._intra_cluster_edges.clear()
         for u, v in self._sparsifier.edges():
-            pair = self._cluster_pair(u, v)
-            if pair[0] == pair[1]:
-                self._intra_cluster_edges[pair[0]].append((u, v))
-            elif pair not in self._connectivity:
-                self._connectivity[pair] = (u, v)
+            self._register_edge(u, v)
+
+    def _register_edge(self, u: int, v: int) -> None:
+        """Index one sparsifier edge in the connectivity map."""
+        key = canonical_edge(u, v)
+        pair = self._cluster_pair(u, v)
+        if pair[0] == pair[1]:
+            self._intra_cluster_edges[pair[0]][key] = None
+        else:
+            self._connectivity.setdefault(pair, {})[key] = None
+
+    def _unregister_edge(self, u: int, v: int) -> None:
+        """Drop one sparsifier edge from the connectivity map (no-op if absent)."""
+        key = canonical_edge(u, v)
+        pair = self._cluster_pair(u, v)
+        if pair[0] == pair[1]:
+            bucket = self._intra_cluster_edges.get(pair[0])
+            if bucket is not None:
+                bucket.pop(key, None)
+                if not bucket:
+                    del self._intra_cluster_edges[pair[0]]
+        else:
+            bucket = self._connectivity.get(pair)
+            if bucket is not None:
+                bucket.pop(key, None)
+                if not bucket:
+                    del self._connectivity[pair]
+
+    def _representative(self, pair: ClusterPair) -> Optional[Tuple[int, int]]:
+        """Return one sparsifier edge realising ``pair`` (or ``None``)."""
+        bucket = self._connectivity.get(pair)
+        if not bucket:
+            return None
+        return next(iter(bucket))
+
+    # ------------------------------------------------------------------ #
+    # Invalidation hooks for the fully dynamic update path
+    # ------------------------------------------------------------------ #
+    def notify_edge_added(self, u: int, v: int) -> None:
+        """Keep the connectivity map in sync with an out-of-band edge insertion.
+
+        The repair step of :func:`repro.core.update.run_removal` adds
+        replacement edges directly to the sparsifier (connectivity repair must
+        happen regardless of spectral similarity); this hook registers them so
+        later filtering decisions see the connection.
+        """
+        self._register_edge(u, v)
+
+    def notify_edge_removed(self, u: int, v: int) -> None:
+        """Keep the connectivity map in sync with a sparsifier edge deletion.
+
+        ``O(1)``: the edge is discarded from its cluster-pair bucket; when the
+        bucket empties the cluster pair is genuinely disconnected at this
+        level and future streamed edges between those clusters will be ADDED
+        again rather than merged into a stale representative.
+        """
+        self._unregister_edge(u, v)
+
+    def reassign_weight(self, u: int, v: int, weight: float) -> bool:
+        """Fold ``weight`` onto surviving support of ``(u, v)``'s cluster pair.
+
+        Used by the deletion path when a removed sparsifier edge carried more
+        weight than its physical counterpart (earlier MERGED/REDISTRIBUTED
+        decisions parked other edges' conductance on it): the excess belongs
+        to edges that still exist in the graph, so it is re-homed onto the
+        surviving representative of the same cluster pair (or spread inside
+        the cluster for intra-cluster pairs).  Returns ``False`` when no
+        surviving support exists — the caller decides what to do then.
+
+        Call *after* :meth:`notify_edge_removed` so the removed edge itself
+        can never absorb the weight.
+        """
+        pair = self._cluster_pair(u, v)
+        if pair[0] == pair[1]:
+            if self._redistribute and self._intra_cluster_edges.get(pair[0]):
+                self._redistribute_weight(pair[0], weight)
+                return True
+            return False
+        representative = self._representative(pair)
+        if representative is None:
+            return False
+        self._sparsifier.increase_weight(representative[0], representative[1], weight)
+        return True
 
     def connects_clusters(self, p: int, q: int) -> bool:
         """Return ``True`` when a sparsifier edge already joins the clusters of p and q."""
         pair = self._cluster_pair(p, q)
         if pair[0] == pair[1]:
             return True
-        return pair in self._connectivity
+        return bool(self._connectivity.get(pair))
 
     # ------------------------------------------------------------------ #
     def _redistribute_weight(self, cluster: int, weight: float) -> None:
         """Spread ``weight`` proportionally over the sparsifier edges inside ``cluster``."""
-        edges = self._intra_cluster_edges.get(cluster, [])
+        edges = list(self._intra_cluster_edges.get(cluster, {}))
         if not edges:
             return
         current_weights = np.array([self._sparsifier.weight(u, v) for u, v in edges])
@@ -164,7 +247,7 @@ class SimilarityFilter:
                 self._redistribute_weight(pair[0], weight)
             return FilterDecision(estimate.edge, FilterAction.REDISTRIBUTED_INTRA_CLUSTER,
                                   estimate.distortion, cluster_pair=pair)
-        existing = self._connectivity.get(pair)
+        existing = self._representative(pair)
         if existing is not None:
             u, v = existing
             self._sparsifier.increase_weight(u, v, weight)
@@ -172,7 +255,7 @@ class SimilarityFilter:
                                   estimate.distortion, target_edge=existing, cluster_pair=pair)
         # Spectrally unique edge: admit it and register the new cluster connection.
         self._sparsifier.add_edge(p, q, weight, merge="add")
-        self._connectivity[pair] = (p, q)
+        self._register_edge(p, q)
         return FilterDecision(estimate.edge, FilterAction.ADDED, estimate.distortion, cluster_pair=pair)
 
     def apply(self, estimates: Sequence[DistortionEstimate],
@@ -195,7 +278,7 @@ class SimilarityFilter:
             if max_additions is not None and summary.added >= max_additions:
                 p, q, weight = estimate.edge
                 pair = self._cluster_pair(p, q)
-                existing = self._connectivity.get(pair)
+                existing = self._representative(pair)
                 if pair[0] != pair[1] and existing is not None:
                     u, v = existing
                     self._sparsifier.increase_weight(u, v, weight)

@@ -17,7 +17,7 @@ two queries the update phase needs in ``O(log N)`` per edge:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -79,6 +79,10 @@ class ClusterHierarchy:
         self._num_nodes = num_nodes
         # (n, L) matrix of cluster indices — the paper's embedding vectors.
         self._embedding = np.column_stack([level.labels for level in self._levels])
+        # Staleness bookkeeping for the fully dynamic update path: every noted
+        # sparsifier-edge removal inflates the affected cluster diameters and
+        # bumps this counter so drivers can schedule a full refresh.
+        self._noted_removals = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -183,6 +187,51 @@ class ClusterHierarchy:
                 cluster = int(self._embedding[p, level_index])
                 bounds[i] = max(float(self._levels[level_index].cluster_diameters[cluster]), 1e-12)
         return bounds
+
+    # ------------------------------------------------------------------ #
+    # Invalidation hooks for the fully dynamic update path
+    # ------------------------------------------------------------------ #
+    @property
+    def noted_removals(self) -> int:
+        """Number of sparsifier-edge removals noted since (re)construction."""
+        return self._noted_removals
+
+    def note_edge_removed(self, u: int, v: int, *, inflation_factor: float = 1.25) -> int:
+        """Record that sparsifier edge ``(u, v)`` was deleted.
+
+        Removing an edge can only *increase* effective resistances, so the
+        cached diameter of every cluster containing both endpoints becomes an
+        optimistic (no longer safe) upper bound.  This hook multiplies those
+        diameters by ``inflation_factor``, keeping the estimates conservative
+        without recomputing resistances; the staleness counter lets drivers
+        trigger a full setup refresh once enough removals accumulate.
+
+        Returns the number of levels whose diameters were inflated.
+        """
+        if inflation_factor < 1.0:
+            raise ValueError("inflation_factor must be >= 1")
+        self._noted_removals += 1
+        touched = 0
+        equal = self._embedding[u] == self._embedding[v]
+        for level_index in np.flatnonzero(equal):
+            level = self._levels[int(level_index)]
+            cluster = int(self._embedding[u, int(level_index)])
+            if level.cluster_diameters.size > cluster:
+                level.cluster_diameters[cluster] = max(
+                    level.cluster_diameters[cluster] * inflation_factor, 1e-12
+                )
+                touched += 1
+        return touched
+
+    def needs_refresh(self, removal_threshold: int) -> bool:
+        """Return ``True`` once at least ``removal_threshold`` removals were noted."""
+        if removal_threshold <= 0:
+            raise ValueError("removal_threshold must be positive")
+        return self._noted_removals >= removal_threshold
+
+    def reset_staleness(self) -> None:
+        """Clear the removal counter (after an external refresh/rebuild)."""
+        self._noted_removals = 0
 
     # ------------------------------------------------------------------ #
     # Filtering-level selection (Section III-C-2)

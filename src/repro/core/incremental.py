@@ -1,14 +1,21 @@
 """The :class:`InGrassSparsifier` driver — the library's main public entry point.
 
-It bundles the paper's Algorithm 1 into a convenient object:
+It bundles the paper's Algorithm 1 — extended to fully dynamic streams — into
+a convenient object:
 
 * :meth:`setup` runs the one-time setup phase on the initial sparsifier
   ``H(0)`` (and can build ``H(0)`` itself via the GRASS-style baseline when
   the caller only has the graph);
-* :meth:`update` consumes one batch of newly streamed edges, keeping both the
-  internal copy of the original graph ``G(k)`` and the sparsifier ``H(k)`` in
-  sync, and recording per-iteration statistics;
-* :meth:`condition_number` / :meth:`report` evaluate the current quality.
+* :meth:`update` consumes one batch of streamed updates — either a plain
+  sequence of new edges (the paper's insertion-only protocol) or a
+  :class:`~repro.streams.edge_stream.MixedBatch` of interleaved deletions and
+  insertions — keeping both the internal copy of the original graph ``G(k)``
+  and the sparsifier ``H(k)`` in sync, and recording per-iteration statistics;
+* :meth:`remove` consumes a pure deletion batch;
+* :meth:`condition_number` / :meth:`report` evaluate the current quality;
+* :meth:`refresh_setup` rebuilds the LRD hierarchy/embedding from the current
+  sparsifier (scheduled automatically after
+  ``config.resetup_after_removals`` sparsifier-edge deletions).
 
 Typical usage::
 
@@ -17,26 +24,41 @@ Typical usage::
     ingrass = InGrassSparsifier(InGrassConfig())
     ingrass.setup(graph, sparsifier)              # one-time, O(N log N)
     for batch in edge_stream:                     # each batch: O(log N) per edge
-        result = ingrass.update(batch)
+        result = ingrass.update(batch)            # insertions or MixedBatch
     print(ingrass.report())
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import InGrassConfig
 from repro.core.filtering import SimilarityFilter
 from repro.core.setup import SetupResult, run_setup
-from repro.core.update import UpdateResult, run_update
+from repro.core.update import (
+    KappaGuardReport,
+    RemovalResult,
+    UpdateResult,
+    _select_filtering_level,
+    run_kappa_guard,
+    run_removal,
+    run_update,
+)
 from repro.graphs.graph import Graph
-from repro.graphs.validation import validate_sparsifier_support
+from repro.graphs.validation import (
+    GraphValidationError,
+    removals_keep_connected,
+    validate_removals,
+    validate_sparsifier_support,
+)
 from repro.sparsify.metrics import SparsifierReport, evaluate_sparsifier, offtree_density
 from repro.spectral.condition import relative_condition_number
-from repro.utils.timing import Timer
+from repro.streams.edge_stream import MixedBatch
 
+Edge = Tuple[int, int]
 WeightedEdge = Tuple[int, int, float]
+UpdateBatch = Union[MixedBatch, Iterable[WeightedEdge]]
 
 
 @dataclass
@@ -53,10 +75,34 @@ class IterationRecord:
     update_seconds: float
     sparsifier_edges: int
     offtree_density: float
+    removed_edges: int = 0
+    repair_edges: int = 0
+
+
+@dataclass
+class MixedUpdateResult:
+    """Outcome of one mixed insert/delete batch (either part may be ``None``)."""
+
+    removal: Optional[RemovalResult]
+    insertion: Optional[UpdateResult]
+    #: κ-guard pass run after the whole batch (when the guard is configured).
+    kappa_guard: Optional[KappaGuardReport] = None
+
+    @property
+    def seconds(self) -> float:
+        """Combined wall-clock cost of the removal, insertion and guard phases."""
+        total = 0.0
+        if self.removal is not None:
+            total += self.removal.removal_seconds
+        if self.insertion is not None:
+            total += self.insertion.update_seconds
+        if self.kappa_guard is not None:
+            total += self.kappa_guard.guard_seconds
+        return total
 
 
 class InGrassSparsifier:
-    """Incremental spectral sparsifier maintaining ``H(k)`` under edge insertions."""
+    """Incremental spectral sparsifier maintaining ``H(k)`` under edge insertions and deletions."""
 
     def __init__(self, config: Optional[InGrassConfig] = None) -> None:
         self.config = config if config is not None else InGrassConfig()
@@ -109,6 +155,18 @@ class InGrassSparsifier:
     def target_condition_number(self) -> Optional[float]:
         """Target κ used to choose the similarity filtering level."""
         return self._target_condition
+
+    @property
+    def removals_since_setup(self) -> int:
+        """Sparsifier-edge deletions absorbed since the last (re)setup.
+
+        Delegates to the hierarchy's staleness counter — the single source of
+        truth, bumped by :func:`repro.core.update.run_removal` per removed
+        sparsifier edge and reset when a fresh hierarchy is built.
+        """
+        self._require_setup()
+        assert self._setup is not None
+        return self._setup.hierarchy.noted_removals
 
     def _require_setup(self) -> None:
         if self._setup is None:
@@ -165,55 +223,173 @@ class InGrassSparsifier:
     # ------------------------------------------------------------------ #
     # Update
     # ------------------------------------------------------------------ #
-    def update(self, new_edges: Sequence[WeightedEdge]) -> UpdateResult:
-        """Apply one batch of newly streamed edges.
-
-        The batch is added to the tracked original graph unconditionally (the
-        physical network really did change) and to the sparsifier selectively
-        through distortion ranking and similarity filtering.
-        """
-        self._require_setup()
-        graph = self._graph
-        sparsifier = self._sparsifier
-        assert graph is not None and sparsifier is not None and self._setup is not None
-
-        graph.add_edges(new_edges, merge="add")
+    def _ensure_filter(self) -> SimilarityFilter:
+        """Build (once) the stateful similarity filter bound to the sparsifier."""
+        assert self._setup is not None and self._sparsifier is not None
         if self._filter is None:
-            level = (
-                self.config.filtering_level
-                if self.config.filtering_level is not None
-                else self._setup.filtering_level_for(self._target_condition or 2.0,
-                                                     self.config.filtering_size_divisor)
-            )
+            level = _select_filtering_level(self._setup, self.config, self._target_condition)
             self._filter = SimilarityFilter(
-                sparsifier, self._setup.hierarchy, level,
+                self._sparsifier, self._setup.hierarchy, level,
                 redistribute_intra_cluster_weight=self.config.redistribute_intra_cluster_weight,
             )
-        result = run_update(
-            sparsifier, self._setup, new_edges, self.config,
-            target_condition_number=self._target_condition,
-            similarity_filter=self._filter,
-        )
-        self._total_update_seconds += result.update_seconds
+        return self._filter
+
+    def _record_iteration(self, *, streamed: int, removed: int, repairs: int,
+                          insertion: Optional[UpdateResult],
+                          removal: Optional[RemovalResult], seconds: float) -> None:
+        assert self._sparsifier is not None
+        summary = insertion.summary if insertion is not None else None
+        if insertion is not None:
+            level = insertion.filtering_level
+        elif removal is not None:
+            level = removal.filtering_level
+        else:
+            level = self._filter.filtering_level if self._filter is not None else 0
         self._history.append(
             IterationRecord(
                 iteration=len(self._history) + 1,
-                streamed_edges=len(list(new_edges)),
-                added_edges=result.summary.added,
-                merged_edges=result.summary.merged,
-                redistributed_edges=result.summary.redistributed,
-                dropped_edges=result.summary.dropped,
-                filtering_level=result.filtering_level,
-                update_seconds=result.update_seconds,
-                sparsifier_edges=sparsifier.num_edges,
-                offtree_density=offtree_density(sparsifier),
+                streamed_edges=streamed,
+                added_edges=summary.added if summary else 0,
+                merged_edges=summary.merged if summary else 0,
+                redistributed_edges=summary.redistributed if summary else 0,
+                dropped_edges=summary.dropped if summary else 0,
+                filtering_level=level,
+                update_seconds=seconds,
+                sparsifier_edges=self._sparsifier.num_edges,
+                offtree_density=offtree_density(self._sparsifier),
+                removed_edges=removed,
+                repair_edges=repairs,
             )
+        )
+
+    def _apply_insertions(self, new_edges: Sequence[WeightedEdge]) -> UpdateResult:
+        """Insertion phase: add to ``G(k)`` unconditionally, filter into ``H(k)``."""
+        graph, sparsifier = self._graph, self._sparsifier
+        assert graph is not None and sparsifier is not None and self._setup is not None
+        graph.add_edges(new_edges, merge="add")
+        return run_update(
+            sparsifier, self._setup, new_edges, self.config,
+            target_condition_number=self._target_condition,
+            similarity_filter=self._ensure_filter(),
+        )
+
+    def _apply_removals(self, deletions: Sequence[Edge]) -> RemovalResult:
+        """Deletion phase: drop from ``G(k)``, then repair ``H(k)``."""
+        graph, sparsifier = self._graph, self._sparsifier
+        assert graph is not None and sparsifier is not None and self._setup is not None
+        pairs = validate_removals(graph, deletions, missing="error")
+        if not removals_keep_connected(graph, pairs):
+            raise GraphValidationError(
+                "deletion batch would disconnect the tracked graph; a disconnected "
+                "graph has no spectral sparsifier (unbounded condition number)"
+            )
+        # Capture the physical weights while removing so run_removal can
+        # re-home conductance that merges parked on removed sparsifier edges.
+        removed_with_weights = [(u, v, graph.remove_edge(u, v)) for u, v in pairs]
+        result = run_removal(
+            sparsifier, self._setup, removed_with_weights,
+            graph=graph, config=self.config,
+            target_condition_number=self._target_condition,
+            similarity_filter=self._ensure_filter(),
+        )
+        threshold = self.config.resetup_after_removals
+        if threshold is not None and self._setup.hierarchy.needs_refresh(threshold):
+            self.refresh_setup()
+        return result
+
+    def _run_guard(self) -> Optional[KappaGuardReport]:
+        """Run a κ-guard pass when configured (after a whole batch).
+
+        Running at batch granularity lets the guard see the combined effect
+        of deletions, repairs and insertions, so the quality contract covers
+        insertion-only batches of a churn stream too.
+        """
+        if self.config.kappa_guard_factor is None or self._target_condition is None:
+            return None
+        assert self._graph is not None and self._sparsifier is not None and self._setup is not None
+        return run_kappa_guard(
+            self._sparsifier, self._setup, graph=self._graph, config=self.config,
+            target_condition_number=self._target_condition,
+            similarity_filter=self._ensure_filter(),
+        )
+
+    def update(self, batch: UpdateBatch) -> Union[UpdateResult, MixedUpdateResult]:
+        """Apply one batch of streamed updates.
+
+        ``batch`` is either a plain iterable of ``(u, v, weight)`` insertions
+        (the paper's protocol; generators are accepted and materialised once)
+        or a :class:`~repro.streams.edge_stream.MixedBatch`, whose deletions
+        are applied before its insertions.
+
+        Insertions are added to the tracked original graph unconditionally
+        (the physical network really did change) and to the sparsifier
+        selectively through distortion ranking and similarity filtering;
+        deletions always leave both, with the sparsifier repaired as needed.
+        """
+        self._require_setup()
+        if isinstance(batch, MixedBatch):
+            return self.apply_batch(batch)
+        # Materialise exactly once: callers may pass a generator, and the
+        # edges are consumed twice (graph insertion + distortion ranking).
+        new_edges = list(batch)
+        result = self._apply_insertions(new_edges)
+        self._total_update_seconds += result.update_seconds
+        self._record_iteration(streamed=len(new_edges), removed=0, repairs=0,
+                               insertion=result, removal=None,
+                               seconds=result.update_seconds)
+        return result
+
+    def remove(self, deletions: Iterable[Edge]) -> RemovalResult:
+        """Apply one batch of pure edge deletions (``(u, v)`` pairs)."""
+        self._require_setup()
+        result = self._apply_removals(list(deletions))
+        result.kappa_guard = self._run_guard()
+        seconds = result.removal_seconds
+        if result.kappa_guard is not None:
+            seconds += result.kappa_guard.guard_seconds
+        self._total_update_seconds += seconds
+        self._record_iteration(streamed=0, removed=len(result.requested),
+                               repairs=result.num_repairs,
+                               insertion=None, removal=result,
+                               seconds=seconds)
+        return result
+
+    def apply_batch(self, batch: MixedBatch) -> MixedUpdateResult:
+        """Apply one mixed insert/delete batch (deletions first), as one iteration."""
+        self._require_setup()
+        removal = self._apply_removals(batch.deletions) if batch.deletions else None
+        insertion = self._apply_insertions(list(batch.insertions)) if batch.insertions else None
+        guard = self._run_guard() if batch else None
+        result = MixedUpdateResult(removal=removal, insertion=insertion, kappa_guard=guard)
+        self._total_update_seconds += result.seconds
+        repairs = removal.num_repairs if removal else 0
+        if guard is not None:
+            repairs += len(guard.added_edges)
+        self._record_iteration(
+            streamed=len(batch.insertions),
+            removed=len(removal.requested) if removal else 0,
+            repairs=repairs,
+            insertion=insertion, removal=removal, seconds=result.seconds,
         )
         return result
 
-    def update_many(self, batches: Sequence[Sequence[WeightedEdge]]) -> List[UpdateResult]:
+    def update_many(self, batches: Sequence[UpdateBatch]) -> List[Union[UpdateResult, MixedUpdateResult]]:
         """Apply several batches in order (the 10-iteration protocol of Table II)."""
         return [self.update(batch) for batch in batches]
+
+    def refresh_setup(self) -> SetupResult:
+        """Re-run the setup phase on the current sparsifier.
+
+        Rebuilds the LRD hierarchy, the resistance embedding and the
+        similarity filter from ``H(k)`` as it stands — the coarse-grained
+        refresh that restores estimate accuracy after many deletions.  The
+        accumulated history and the tracked graph are preserved.
+        """
+        self._require_setup()
+        assert self._sparsifier is not None
+        self._setup = run_setup(self._sparsifier, self.config)
+        self._filter = None
+        return self._setup
 
     # ------------------------------------------------------------------ #
     # Evaluation

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.core.config import InGrassConfig, LRDConfig
+from repro.core.config import InGrassConfig
 from repro.core.embedding import ResistanceEmbedding
 from repro.core.hierarchy import ClusterHierarchy
 from repro.core.lrd import lrd_decompose

@@ -1,7 +1,8 @@
-"""inGRASS update phase (Algorithm 1, steps 4-5).
+"""inGRASS update phase (Algorithm 1, steps 4-5) and its fully dynamic extension.
 
-Each update call receives a batch of newly streamed edges and, using only the
-``O(log N)``-dimensional embeddings produced by the setup phase:
+Each insertion update call receives a batch of newly streamed edges and,
+using only the ``O(log N)``-dimensional embeddings produced by the setup
+phase:
 
 1. estimates the spectral distortion of every new edge (Section III-C-1) and
    sorts the batch so the most spectrally-critical edges are considered first;
@@ -12,6 +13,16 @@ Each update call receives a batch of newly streamed edges and, using only the
 
 The cost is ``O(log N)`` per streamed edge — no resistance recomputation, no
 re-sparsification.
+
+:func:`run_removal` extends the protocol beyond the paper to *edge deletions*:
+a removed edge always leaves the tracked graph, and when it was also carried
+by the sparsifier the function (a) invalidates the similarity filter's
+connectivity map and the hierarchy's cached cluster diameters, (b) reconnects
+the sparsifier with the most-distorting surviving graph edges if the removal
+split a cluster, (c) locally re-admits the best replacement off-tree edges
+around the removal through the same similarity filter, and (d) optionally
+keeps admitting globally most-distorting edges until κ returns under a
+configured guard bound.
 """
 
 from __future__ import annotations
@@ -21,17 +32,22 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.core.config import InGrassConfig
 from repro.core.distortion import (
-    DistortionEstimate,
     estimate_distortions,
     filter_by_threshold,
     sort_by_distortion,
 )
 from repro.core.filtering import FilterAction, FilterDecision, FilterSummary, SimilarityFilter
 from repro.core.setup import SetupResult
-from repro.graphs.graph import Graph
-from repro.graphs.validation import validate_new_edges
+from repro.graphs.graph import Graph, canonical_edge
+from repro.graphs.unionfind import UnionFind
+from repro.graphs.validation import (
+    GraphValidationError,
+    canonicalize_edge_pairs,
+    validate_new_edges,
+)
 from repro.utils.timing import Timer
 
+Edge = Tuple[int, int]
 WeightedEdge = Tuple[int, int, float]
 
 
@@ -49,6 +65,31 @@ class UpdateResult:
     def added_edges(self) -> List[WeightedEdge]:
         """Edges that were actually inserted into the sparsifier."""
         return [d.edge for d in self.decisions if d.action is FilterAction.ADDED]
+
+
+def _select_filtering_level(setup: SetupResult, config: InGrassConfig,
+                            target_condition_number: Optional[float]) -> int:
+    """Resolve the similarity filtering level from config / target κ."""
+    if config.filtering_level is not None:
+        return config.filtering_level
+    target = target_condition_number if target_condition_number is not None else config.target_condition_number
+    if target is None:
+        raise ValueError(
+            "a target condition number (or an explicit filtering_level) is required "
+            "to choose the similarity filtering level"
+        )
+    return setup.filtering_level_for(target, config.filtering_size_divisor)
+
+
+def _ensure_filter(sparsifier: Graph, setup: SetupResult, level: int, config: InGrassConfig,
+                   similarity_filter: Optional[SimilarityFilter]) -> SimilarityFilter:
+    """Reuse the caller's filter when it matches the level, else build a fresh one."""
+    if similarity_filter is not None and similarity_filter.filtering_level == level:
+        return similarity_filter
+    return SimilarityFilter(
+        sparsifier, setup.hierarchy, level,
+        redistribute_intra_cluster_weight=config.redistribute_intra_cluster_weight,
+    )
 
 
 def run_update(sparsifier: Graph, setup: SetupResult, new_edges: Sequence[WeightedEdge],
@@ -80,22 +121,8 @@ def run_update(sparsifier: Graph, setup: SetupResult, new_edges: Sequence[Weight
     timer = Timer().start()
     cleaned = validate_new_edges(sparsifier, new_edges)
 
-    if config.filtering_level is not None:
-        level = config.filtering_level
-    else:
-        target = target_condition_number if target_condition_number is not None else config.target_condition_number
-        if target is None:
-            raise ValueError(
-                "a target condition number (or an explicit filtering_level) is required "
-                "to choose the similarity filtering level"
-            )
-        level = setup.filtering_level_for(target, config.filtering_size_divisor)
-
-    if similarity_filter is None or similarity_filter.filtering_level != level:
-        similarity_filter = SimilarityFilter(
-            sparsifier, setup.hierarchy, level,
-            redistribute_intra_cluster_weight=config.redistribute_intra_cluster_weight,
-        )
+    level = _select_filtering_level(setup, config, target_condition_number)
+    similarity_filter = _ensure_filter(sparsifier, setup, level, config, similarity_filter)
 
     estimates = estimate_distortions(setup.embedding, cleaned)
     estimates, dropped = filter_by_threshold(estimates, config.distortion_threshold)
@@ -118,3 +145,319 @@ def run_update(sparsifier: Graph, setup: SetupResult, new_edges: Sequence[Weight
         update_seconds=timer.elapsed,
         dropped_low_distortion=len(dropped),
     )
+
+
+# --------------------------------------------------------------------------- #
+# Deletion path (fully dynamic extension)
+# --------------------------------------------------------------------------- #
+@dataclass
+class RemovalResult:
+    """Outcome of one edge-removal call against the sparsifier."""
+
+    #: Canonical pairs the caller asked to delete (deduplicated).
+    requested: List[Edge]
+    #: Edges that were carried by the sparsifier and removed from it (with
+    #: the weight they carried at removal time).
+    removed_from_sparsifier: List[WeightedEdge]
+    #: Replacement edges added purely to restore sparsifier connectivity.
+    reconnection_edges: List[WeightedEdge]
+    #: Replacement edges admitted by the local quality-repair pass.
+    repair_edges: List[WeightedEdge] = field(default_factory=list)
+    #: Repair candidates skipped because the filtering level already carries
+    #: an equivalent connection (no weight is ever duplicated on skips).
+    repair_skipped: int = 0
+    #: Excess weight (beyond the physical edge weight) that removed
+    #: sparsifier edges had absorbed from earlier merge/redistribute
+    #: decisions, re-homed onto surviving support of the same cluster pair.
+    reassigned_weight: float = 0.0
+    #: Excess weight for which no surviving support existed (dropped).
+    discarded_weight: float = 0.0
+    #: Hierarchy levels whose cached cluster diameters were inflated.
+    inflated_levels: int = 0
+    filtering_level: int = 0
+    removal_seconds: float = 0.0
+    #: Report of the κ-guard pass, when the driver ran one after this batch.
+    kappa_guard: Optional["KappaGuardReport"] = None
+
+    @property
+    def repaired_edges(self) -> List[WeightedEdge]:
+        """All edges (re)admitted into the sparsifier by this removal call."""
+        return self.reconnection_edges + self.repair_edges
+
+    @property
+    def num_repairs(self) -> int:
+        """Total number of edges admitted (reconnection + repair + guard)."""
+        total = len(self.reconnection_edges) + len(self.repair_edges)
+        if self.kappa_guard is not None:
+            total += len(self.kappa_guard.added_edges)
+        return total
+
+
+@dataclass
+class KappaGuardReport:
+    """Outcome of one κ-guard pass (see :func:`run_kappa_guard`)."""
+
+    bound: float
+    kappa_before: float
+    kappa_after: float
+    rounds: int = 0
+    added_edges: List[WeightedEdge] = field(default_factory=list)
+    guard_seconds: float = 0.0
+
+    @property
+    def satisfied(self) -> bool:
+        """``True`` when the final κ is within the guard bound."""
+        return self.kappa_after <= self.bound
+
+
+def _offtree_candidates(graph: Graph, sparsifier: Graph, around: Sequence[int]) -> List[WeightedEdge]:
+    """Graph edges incident to ``around`` nodes that the sparsifier does not carry."""
+    seen: dict[Edge, float] = {}
+    for node in around:
+        for neighbor, weight in graph.neighbors(node).items():
+            key = canonical_edge(node, int(neighbor))
+            if key not in seen and not sparsifier.has_edge(*key):
+                seen[key] = float(weight)
+    return [(u, v, w) for (u, v), w in seen.items()]
+
+
+def _reconnect_sparsifier(sparsifier: Graph, graph: Graph, setup: SetupResult,
+                          similarity_filter: SimilarityFilter) -> List[WeightedEdge]:
+    """Restore sparsifier connectivity using the most-distorting graph edges.
+
+    Builds the component structure of the (possibly split) sparsifier, ranks
+    every surviving graph edge that crosses two components by estimated
+    spectral distortion, and greedily admits edges — highest distortion first,
+    one per component merge — until a single component remains.
+    """
+    uf = UnionFind(sparsifier.num_nodes)
+    for u, v in sparsifier.edges():
+        uf.union(u, v)
+    if uf.num_sets <= 1:
+        return []
+    crossing = [(u, v, w) for u, v, w in graph.weighted_edges() if not uf.connected(u, v)]
+    if not crossing:
+        raise GraphValidationError(
+            "sparsifier disconnected and the tracked graph offers no reconnecting edge "
+            "(was the graph itself disconnected by the removals?)"
+        )
+    ranked = sort_by_distortion(estimate_distortions(setup.embedding, crossing))
+    added: List[WeightedEdge] = []
+    for estimate in ranked:
+        u, v, w = estimate.edge
+        if uf.union(u, v):
+            sparsifier.add_edge(u, v, w, merge="add")
+            similarity_filter.notify_edge_added(u, v)
+            added.append((u, v, w))
+            if uf.num_sets <= 1:
+                break
+    if uf.num_sets > 1:
+        raise GraphValidationError(
+            "sparsifier could not be reconnected: the tracked graph is disconnected"
+        )
+    return added
+
+
+def run_removal(sparsifier: Graph, setup: SetupResult, removals: Sequence, *,
+                graph: Graph, config: Optional[InGrassConfig] = None,
+                target_condition_number: Optional[float] = None,
+                similarity_filter: Optional[SimilarityFilter] = None) -> RemovalResult:
+    """Apply one batch of edge deletions to ``sparsifier`` (mutated in place).
+
+    Parameters
+    ----------
+    sparsifier:
+        Current sparsifier ``H(k)``; updated in place to ``H(k+1)``.
+    setup:
+        Artifacts from :func:`repro.core.setup.run_setup`.  Cached cluster
+        diameters are inflated in place for removed sparsifier edges.
+    removals:
+        ``(u, v)`` pairs or ``(u, v, w)`` triples deleted from the original
+        graph, where ``w`` is the weight the edge had *in the graph* before
+        its removal.  When given, the weight is used to preserve conductance
+        that earlier merge decisions parked on the removed sparsifier edge:
+        only the physical share disappears, the excess is re-homed onto
+        surviving support of the same cluster pair.  Pairs the sparsifier
+        does not carry only affect the tracked graph and need no repair.
+    graph:
+        The tracked original graph ``G(k+1)`` — **after** the removals were
+        applied to it.  It is the candidate pool for replacement edges, which
+        is why the deletions must already be reflected (a deleted edge must
+        never be re-admitted).
+    config:
+        inGRASS configuration (repair caps, diameter inflation, κ guard).
+    target_condition_number:
+        Target κ used both for filtering-level selection and as the reference
+        of the κ guard.
+    similarity_filter:
+        Reuse an existing filter (its connectivity map is invalidated /
+        updated in place); by default a fresh filter is built.
+
+    Notes
+    -----
+    The function mutates ``sparsifier`` (and the filter / hierarchy caches)
+    as it goes and does **not** roll back on failure: if the graph itself was
+    disconnected by the removals, the raised :class:`GraphValidationError`
+    leaves the sparsifier partially repaired.  Pre-flight deletion batches
+    with :func:`repro.graphs.validation.removals_keep_connected` (the
+    :class:`~repro.core.incremental.InGrassSparsifier` driver does) when the
+    input is not already known to be safe.
+    """
+    config = config if config is not None else InGrassConfig()
+    timer = Timer().start()
+    requested = canonicalize_edge_pairs(removals)
+    graph_weights: dict[Edge, float] = {}
+    for item in removals:
+        if len(item) >= 3:
+            u, v = int(item[0]), int(item[1])
+            graph_weights[(u, v) if u <= v else (v, u)] = float(item[2])
+    for u, v in requested:
+        if graph.has_edge(u, v):
+            raise GraphValidationError(
+                f"removal ({u}, {v}) is still present in the tracked graph; "
+                "remove the edges from the graph before calling run_removal"
+            )
+
+    level = _select_filtering_level(setup, config, target_condition_number)
+    similarity_filter = _ensure_filter(sparsifier, setup, level, config, similarity_filter)
+
+    # Step 1: drop the edges the sparsifier carries, invalidating caches.
+    # Weight a removed edge absorbed on behalf of *other* (still existing)
+    # graph edges through earlier merge decisions is re-homed onto surviving
+    # support of the same cluster pair rather than silently discarded.
+    removed_from_sparsifier: List[WeightedEdge] = []
+    inflated_levels = 0
+    reassigned = 0.0
+    discarded = 0.0
+    for u, v in requested:
+        if not sparsifier.has_edge(u, v):
+            continue
+        weight = sparsifier.remove_edge(u, v)
+        similarity_filter.notify_edge_removed(u, v)
+        inflated_levels += setup.hierarchy.note_edge_removed(
+            u, v, inflation_factor=config.removal_diameter_inflation
+        )
+        removed_from_sparsifier.append((u, v, weight))
+        physical = graph_weights.get((u, v))
+        if physical is not None and weight > physical:
+            excess = weight - physical
+            if similarity_filter.reassign_weight(u, v, excess):
+                reassigned += excess
+            else:
+                discarded += excess
+
+    result = RemovalResult(
+        requested=requested,
+        removed_from_sparsifier=removed_from_sparsifier,
+        reconnection_edges=[],
+        inflated_levels=inflated_levels,
+        filtering_level=level,
+        reassigned_weight=reassigned,
+        discarded_weight=discarded,
+    )
+    if not removed_from_sparsifier:
+        timer.stop()
+        result.removal_seconds = timer.elapsed
+        return result
+
+    # Step 2: reconnect if any removal split the sparsifier.
+    result.reconnection_edges = _reconnect_sparsifier(sparsifier, graph, setup, similarity_filter)
+
+    # Step 3: local quality repair around the removed edges — the best
+    # off-sparsifier graph edges incident to the endpoints, ranked by the LRD
+    # distortion estimate.  Only spectrally *unique* candidates (no existing
+    # connection at the filtering level) are admitted: repair candidates are
+    # existing graph edges, not new conductance, so folding their weight onto
+    # other sparsifier edges would double-count weight the graph does not
+    # have and degrade κ from the λ_min side.
+    repair_cap = config.max_repair_edges_per_removal * len(removed_from_sparsifier)
+    if repair_cap > 0:
+        endpoints = sorted({node for u, v, _ in removed_from_sparsifier for node in (u, v)})
+        candidates = _offtree_candidates(graph, sparsifier, endpoints)
+        if candidates:
+            estimates = estimate_distortions(setup.embedding, candidates)
+            estimates, _ = filter_by_threshold(estimates, config.distortion_threshold)
+            for estimate in sort_by_distortion(estimates):
+                if len(result.repair_edges) >= repair_cap:
+                    break
+                p, q, weight = estimate.edge
+                if similarity_filter.connects_clusters(p, q):
+                    result.repair_skipped += 1
+                    continue
+                sparsifier.add_edge(p, q, weight, merge="add")
+                similarity_filter.notify_edge_added(p, q)
+                result.repair_edges.append((p, q, weight))
+
+    timer.stop()
+    result.removal_seconds = timer.elapsed
+    return result
+
+
+def run_kappa_guard(sparsifier: Graph, setup: SetupResult, *, graph: Graph,
+                    config: Optional[InGrassConfig] = None,
+                    target_condition_number: Optional[float] = None,
+                    similarity_filter: Optional[SimilarityFilter] = None) -> KappaGuardReport:
+    """Escalating quality guard for the deletion path.
+
+    Measures κ(G, H) and, while it exceeds ``kappa_guard_factor * target``,
+    admits off-sparsifier graph edges in rounds of ``kappa_guard_batch``
+    (pure additions — candidate edges exist in the graph, so no weight is
+    ever duplicated).  Candidates are ranked by the dominant generalized
+    eigenvector ``x`` of the pencil ``(L_G, L_H)``: by first-order
+    perturbation the score ``w · (x_p - x_q)²`` measures exactly how much an
+    edge relieves the mode the sparsifier supports worst, which makes the
+    guard surgical where the (post-removal, inflated) LRD estimates are only
+    upper bounds.  Intended to run after a full update batch so it sees the
+    combined effect of deletions and insertions; the
+    :class:`~repro.core.incremental.InGrassSparsifier` driver does exactly
+    that.  This trades one extreme-eigenpair solve per round for a hard
+    quality bound — use it when the workload needs the guarantee, skip it to
+    stay strictly ``O(log N)`` per event.
+    """
+    import numpy as np
+
+    from repro.spectral.condition import dominant_generalized_eigenvector, relative_condition_number
+
+    config = config if config is not None else InGrassConfig()
+    if config.kappa_guard_factor is None:
+        raise ValueError("run_kappa_guard requires config.kappa_guard_factor to be set")
+    target = target_condition_number if target_condition_number is not None else config.target_condition_number
+    if target is None:
+        raise ValueError("a target condition number is required for the κ guard")
+    timer = Timer().start()
+    level = _select_filtering_level(setup, config, target)
+    similarity_filter = _ensure_filter(sparsifier, setup, level, config, similarity_filter)
+
+    bound = config.kappa_guard_factor * target
+    kappa = relative_condition_number(graph, sparsifier,
+                                      dense_limit=config.kappa_guard_dense_limit)
+    report = KappaGuardReport(bound=bound, kappa_before=kappa, kappa_after=kappa)
+    while report.kappa_after > bound and report.rounds < config.kappa_guard_max_rounds:
+        pool = [(u, v, w) for u, v, w in graph.weighted_edges() if not sparsifier.has_edge(u, v)]
+        if not pool:
+            break
+        _, mode = dominant_generalized_eigenvector(graph, sparsifier,
+                                                   dense_limit=config.kappa_guard_dense_limit)
+        ps = np.fromiter((u for u, _, _ in pool), dtype=np.int64, count=len(pool))
+        qs = np.fromiter((v for _, v, _ in pool), dtype=np.int64, count=len(pool))
+        ws = np.fromiter((w for _, _, w in pool), dtype=float, count=len(pool))
+        scores = ws * (mode[ps] - mode[qs]) ** 2
+        # Escalate geometrically: a later round means the previous additions
+        # did not relieve the bottleneck, so widen the net.
+        budget = min(config.kappa_guard_batch * (2 ** report.rounds), len(pool))
+        order = np.argsort(scores)[::-1][:budget]
+        admitted = 0
+        for index in order:
+            u, v, w = pool[int(index)]
+            sparsifier.add_edge(u, v, w, merge="add")
+            similarity_filter.notify_edge_added(u, v)
+            report.added_edges.append((u, v, w))
+            admitted += 1
+        if admitted == 0:
+            break
+        report.rounds += 1
+        report.kappa_after = relative_condition_number(graph, sparsifier,
+                                                       dense_limit=config.kappa_guard_dense_limit)
+    timer.stop()
+    report.guard_seconds = timer.elapsed
+    return report

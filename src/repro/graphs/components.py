@@ -74,6 +74,64 @@ def bfs_order(graph: Graph, source: int = 0) -> List[int]:
     return order
 
 
+def bridge_edges(graph: Graph) -> List[tuple]:
+    """Return the bridges of ``graph`` as canonical ``(u, v)`` pairs.
+
+    A bridge is an edge whose removal increases the number of connected
+    components; the deletion streams avoid them so that edge removals never
+    disconnect the tracked graph.  Iterative Tarjan lowlink computation,
+    ``O(V + E)``.
+    """
+    n = graph.num_nodes
+    if n == 0:
+        return []
+    disc = np.full(n, -1, dtype=np.int64)
+    low = np.full(n, -1, dtype=np.int64)
+    bridges: List[tuple] = []
+    counter = 0
+    for start in range(n):
+        if disc[start] != -1:
+            continue
+        # Each stack frame: (node, parent, iterator over neighbors, parent-edge-seen flag).
+        stack = [(start, -1, iter(graph.neighbors(start).keys()), False)]
+        disc[start] = low[start] = counter
+        counter += 1
+        while stack:
+            node, parent, neighbors, parent_seen = stack.pop()
+            advanced = False
+            for neighbor in neighbors:
+                if neighbor == parent and not parent_seen:
+                    # Skip the tree edge back to the parent exactly once so
+                    # that parallel logical edges are not misdetected (the
+                    # Graph container merges parallel edges, so one skip is
+                    # always correct).
+                    stack.append((node, parent, neighbors, True))
+                    advanced = True
+                    break
+                if disc[neighbor] == -1:
+                    disc[neighbor] = low[neighbor] = counter
+                    counter += 1
+                    stack.append((node, parent, neighbors, parent_seen))
+                    stack.append((neighbor, node, iter(graph.neighbors(neighbor).keys()), False))
+                    advanced = True
+                    break
+                low[node] = min(low[node], disc[neighbor])
+            if advanced:
+                continue
+            # Frame exhausted: propagate the lowlink to the parent.
+            if parent != -1:
+                low[parent] = min(low[parent], low[node])
+                if low[node] > disc[parent]:
+                    bridges.append((parent, node) if parent <= node else (node, parent))
+    return bridges
+
+
+def non_bridge_edges(graph: Graph) -> List[tuple]:
+    """Return the canonical ``(u, v)`` pairs whose removal keeps components intact."""
+    bridges = set(bridge_edges(graph))
+    return [edge for edge in graph.edges() if edge not in bridges]
+
+
 def spans_graph(graph: Graph, edges: List[tuple]) -> bool:
     """Return ``True`` when ``edges`` connect all nodes of ``graph``."""
     uf = UnionFind(graph.num_nodes)

@@ -30,7 +30,7 @@ from typing import Optional, Tuple
 import numpy as np
 import scipy.spatial
 
-from repro.graphs.components import extract_largest_component, is_connected
+from repro.graphs.components import is_connected
 from repro.graphs.graph import Graph
 from repro.utils.rng import SeedLike, as_rng
 from repro.utils.validation import check_positive, check_positive_int, check_probability

@@ -9,7 +9,7 @@ and scipy sparse matrices for the spectral algebra.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp

@@ -13,7 +13,6 @@ import os
 from pathlib import Path
 from typing import Union
 
-import numpy as np
 import scipy.io
 import scipy.sparse as sp
 

@@ -8,7 +8,7 @@ condition-number routines rely on.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp

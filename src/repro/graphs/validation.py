@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.graphs.components import is_connected
 from repro.graphs.graph import Graph
+from repro.graphs.unionfind import UnionFind
 
 
 class GraphValidationError(ValueError):
@@ -55,6 +56,67 @@ def validate_new_edges(graph: Graph, new_edges: Iterable[Tuple[int, int, float]]
         key = (u, v) if u < v else (v, u)
         merged[key] = merged.get(key, 0.0) + w
     return [(u, v, w) for (u, v), w in merged.items()]
+
+
+def canonicalize_edge_pairs(pairs: Iterable[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Canonicalize ``(u, v[, ...])`` items into sorted pairs, collapsing duplicates.
+
+    Extra tuple elements (e.g. weights) are ignored; self-loops are rejected.
+    Shared by deletion validation here and by the removal path in
+    :mod:`repro.core.update` so the normalization semantics stay identical.
+    """
+    cleaned: dict[tuple[int, int], None] = {}
+    for item in pairs:
+        u, v = int(item[0]), int(item[1])
+        if u == v:
+            raise GraphValidationError(f"self-loop removal ({u}, {v}) is not allowed")
+        cleaned[(u, v) if u < v else (v, u)] = None
+    return list(cleaned.keys())
+
+
+def validate_removals(graph: Graph, removals: Iterable[Tuple[int, int]], *,
+                      missing: str = "error") -> List[Tuple[int, int]]:
+    """Validate a batch of candidate edge deletions against ``graph``.
+
+    Accepts ``(u, v)`` pairs or ``(u, v, weight)`` triples (the weight is
+    ignored — a deletion removes the whole edge).  Returns the cleaned list of
+    canonical pairs with duplicates collapsed.
+
+    Parameters
+    ----------
+    missing:
+        Policy for edges absent from ``graph``: ``"error"`` raises,
+        ``"skip"`` silently drops them from the returned list.
+    """
+    if missing not in ("error", "skip"):
+        raise ValueError(f"unknown missing policy {missing!r}")
+    cleaned: List[Tuple[int, int]] = []
+    for u, v in canonicalize_edge_pairs(removals):
+        if u < 0 or v < 0 or u >= graph.num_nodes or v >= graph.num_nodes:
+            raise GraphValidationError(f"removal ({u}, {v}) references a node outside the graph")
+        if not graph.has_edge(u, v):
+            if missing == "error":
+                raise GraphValidationError(f"cannot remove edge ({u}, {v}): not present in the graph")
+            continue
+        cleaned.append((u, v))
+    return cleaned
+
+
+def removals_keep_connected(graph: Graph, removals: Iterable[Tuple[int, int]]) -> bool:
+    """Return ``True`` when deleting ``removals`` leaves ``graph`` connected.
+
+    Runs one union-find pass over the surviving edges (``O(E α)``) without
+    mutating ``graph``; the incremental driver uses it as a pre-flight check
+    so a disconnecting deletion batch is rejected before any state changes.
+    """
+    if graph.num_nodes == 0:
+        return True
+    removed = set(canonicalize_edge_pairs(removals))
+    uf = UnionFind(graph.num_nodes)
+    for edge in graph.edges():
+        if edge not in removed:
+            uf.union(*edge)
+    return uf.num_sets <= 1
 
 
 def assert_positive_weights(graph: Graph) -> None:

@@ -19,7 +19,7 @@ from-scratch baseline and for the ablation benches.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

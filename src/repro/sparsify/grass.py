@@ -20,19 +20,15 @@ update iteration, exactly as Tables I/II of the paper do.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.graphs.validation import validate_sparsifier_support
 from repro.spectral.condition import relative_condition_number
-from repro.spectral.effective_resistance import (
-    ApproxResistanceCalculator,
-    ExactResistanceCalculator,
-    make_resistance_calculator,
-)
+from repro.spectral.effective_resistance import ExactResistanceCalculator, make_resistance_calculator
 from repro.sparsify.spanning_tree import (
     low_stretch_spanning_tree,
     maximum_weight_spanning_tree,

@@ -7,7 +7,7 @@ consistent summary.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -121,7 +121,6 @@ def distortion_statistics(graph: Graph, sparsifier: Graph, *, max_edges: int = 2
     ``max_edges`` excluded edges are evaluated exactly (random subsample when
     there are more) to keep the metric affordable in tests.
     """
-    import numpy.random as npr
 
     excluded = [(u, v, w) for u, v, w in graph.weighted_edges() if not sparsifier.has_edge(u, v)]
     if not excluded:

@@ -14,9 +14,8 @@ Two random policies are used by the paper's evaluation:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.graphs.unionfind import UnionFind

@@ -4,6 +4,7 @@ from repro.spectral.condition import (
     ConditionEstimate,
     condition_estimate,
     condition_number_upper_bound_from_distortions,
+    dominant_generalized_eigenvector,
     relative_condition_number,
     spectral_similarity_epsilon,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "ConditionEstimate",
     "condition_estimate",
     "relative_condition_number",
+    "dominant_generalized_eigenvector",
     "spectral_similarity_epsilon",
     "condition_number_upper_bound_from_distortions",
     "ExactResistanceCalculator",

@@ -138,6 +138,53 @@ def condition_estimate(graph: Graph, sparsifier: Graph, *, dense_limit: int = _D
     return ConditionEstimate(lambda_max=lambda_max, lambda_min=lambda_min, method=method)
 
 
+def dominant_generalized_eigenvector(graph: Graph, sparsifier: Graph, *,
+                                     dense_limit: int = _DENSE_LIMIT_DEFAULT,
+                                     tol: float = 1e-6,
+                                     maxiter: Optional[int] = None) -> Tuple[float, np.ndarray]:
+    """Return ``(λ_max, x)`` for the pencil ``L_G x = λ L_H x``.
+
+    The eigenvector of the largest generalized eigenvalue is the mode the
+    sparsifier supports *worst*: by first-order perturbation, adding a graph
+    edge ``(p, q, w)`` to ``H`` reduces λ_max proportionally to
+    ``w · (x_p - x_q)²``.  The fully dynamic κ guard uses exactly that score
+    to pick surgical replacement edges after deletions instead of trusting
+    the (post-removal, possibly stale) LRD distortion estimates.
+
+    The returned vector is indexed by original node ids (the grounded node
+    carries 0) and normalised to unit Euclidean norm.
+    """
+    reduced_g, reduced_h = _reduced_pencil(graph, sparsifier)
+    n = graph.num_nodes
+    if n <= dense_limit:
+        a = reduced_g.toarray()
+        b = reduced_h.toarray()
+        a = 0.5 * (a + a.T)
+        b = 0.5 * (b + b.T)
+        eigenvalues, eigenvectors = scipy.linalg.eigh(a, b)
+        lambda_max = float(eigenvalues[-1])
+        reduced_vector = np.asarray(eigenvectors[:, -1], dtype=float)
+    else:
+        size = reduced_g.shape[0]
+        shift = 1e-12
+        lu = spla.splu(sp.csc_matrix(reduced_h + shift * sp.identity(size, format="csr")))
+        h_inv = spla.LinearOperator((size, size), matvec=lu.solve, dtype=float)
+        try:
+            values, vectors = spla.eigsh(reduced_g, M=reduced_h, Minv=h_inv, which="LM",
+                                         k=1, tol=tol, maxiter=maxiter)
+            lambda_max = float(values[0])
+            reduced_vector = np.asarray(vectors[:, 0], dtype=float)
+        except Exception:
+            return dominant_generalized_eigenvector(graph, sparsifier, dense_limit=n,
+                                                    tol=tol, maxiter=maxiter)
+    full = np.zeros(n)
+    full[1:] = reduced_vector  # ground node 0 carries potential 0
+    norm = float(np.linalg.norm(full))
+    if norm > 0:
+        full /= norm
+    return lambda_max, full
+
+
 def relative_condition_number(graph: Graph, sparsifier: Graph, *, dense_limit: int = _DENSE_LIMIT_DEFAULT,
                               tol: float = 1e-6, maxiter: Optional[int] = None) -> float:
     """Return κ(L_G, L_H) — the headline quality metric of the paper's tables."""

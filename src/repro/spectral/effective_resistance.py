@@ -43,6 +43,20 @@ class ExactResistanceCalculator:
         self._solver = GroundedSolver.from_graph(graph)
         self._potential_cache: dict[int, np.ndarray] = {}
 
+    def refresh(self) -> None:
+        """Rebuild the solver and drop cached potentials after graph mutations.
+
+        The calculator factorises the Laplacian at construction time; edge
+        insertions or deletions on the underlying graph silently invalidate
+        both the factorisation and every cached potential vector.  Callers
+        that keep a calculator alive across mutations (e.g. a driver holding
+        one between removal batches) must invoke this hook before querying
+        again — the library's own setup phase builds calculators transiently,
+        so it never needs to.
+        """
+        self._solver = GroundedSolver.from_graph(self._graph)
+        self._potential_cache.clear()
+
     def _potentials(self, node: int) -> np.ndarray:
         """Return ``L^+ e_node`` (cached)."""
         if node not in self._potential_cache:
@@ -87,7 +101,18 @@ class ApproxResistanceCalculator:
         if graph.num_nodes < 2:
             raise ValueError("effective resistance needs at least two nodes")
         self._graph = graph
+        self._order_request = order
+        self._seed = seed
         self._basis = basis if basis is not None else build_krylov_basis(graph, order, seed=seed)
+        self._embedding = krylov_resistance_matrix(self._basis)
+
+    def refresh(self) -> None:
+        """Rebuild the Krylov basis and embedding after graph mutations.
+
+        For callers keeping the calculator alive across mutations; see
+        :meth:`ExactResistanceCalculator.refresh`.
+        """
+        self._basis = build_krylov_basis(self._graph, self._order_request, seed=self._seed)
         self._embedding = krylov_resistance_matrix(self._basis)
 
     @property
@@ -148,11 +173,18 @@ class JLResistanceCalculator:
     def __init__(self, graph: Graph, dimensions: Optional[int] = None, *, seed: SeedLike = None) -> None:
         if graph.num_nodes < 2:
             raise ValueError("effective resistance needs at least two nodes")
+        self._graph = graph
+        self._dimensions_request = dimensions
+        self._seed = seed
+        self._embedding = self._build()
+
+    def _build(self) -> np.ndarray:
         from repro.utils.rng import as_rng
 
-        self._graph = graph
-        rng = as_rng(seed)
+        graph = self._graph
+        rng = as_rng(self._seed)
         n = graph.num_nodes
+        dimensions = self._dimensions_request
         if dimensions is None:
             dimensions = max(8, 4 * int(np.ceil(np.log2(max(n, 2)))))
         dimensions = min(dimensions, max(2, graph.num_edges))
@@ -166,7 +198,15 @@ class JLResistanceCalculator:
         embedding = np.empty((n, dimensions))
         for row in range(dimensions):
             embedding[:, row] = solver.solve(np.asarray(projected_incidence[row]).ravel())
-        self._embedding = embedding
+        return embedding
+
+    def refresh(self) -> None:
+        """Re-run the JL solves against the mutated graph.
+
+        For callers keeping the calculator alive across mutations; see
+        :meth:`ExactResistanceCalculator.refresh`.
+        """
+        self._embedding = self._build()
 
     @property
     def embedding(self) -> np.ndarray:

@@ -7,7 +7,7 @@ instead of in every caller.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 import scipy.linalg

@@ -1,19 +1,41 @@
-"""Edge-insertion streams and incremental experiment scenarios."""
+"""Edge-update streams (insertions and deletions) and experiment scenarios."""
 
 from repro.streams.edge_stream import (
+    DeletionEvent,
+    InsertionEvent,
+    MixedBatch,
     locality_biased_edges,
     mixed_edges,
     random_pair_edges,
+    removable_edges,
     split_into_batches,
 )
-from repro.streams.scenarios import IncrementalScenario, ScenarioConfig, build_scenario
+from repro.streams.scenarios import (
+    DynamicScenario,
+    DynamicScenarioConfig,
+    IncrementalScenario,
+    ScenarioConfig,
+    build_churn_scenario,
+    build_deletion_scenario,
+    build_dynamic_scenario,
+    build_scenario,
+)
 
 __all__ = [
     "random_pair_edges",
     "locality_biased_edges",
     "mixed_edges",
+    "removable_edges",
     "split_into_batches",
+    "InsertionEvent",
+    "DeletionEvent",
+    "MixedBatch",
     "IncrementalScenario",
     "ScenarioConfig",
     "build_scenario",
+    "DynamicScenario",
+    "DynamicScenarioConfig",
+    "build_dynamic_scenario",
+    "build_churn_scenario",
+    "build_deletion_scenario",
 ]

@@ -1,4 +1,4 @@
-"""Generation of new-edge streams for incremental sparsification experiments.
+"""Generation of edge-update streams for incremental sparsification experiments.
 
 The paper's evaluation streams batches of edges that are *added to the
 original graph* (e.g. new metal straps added to a power grid) and asks the
@@ -12,23 +12,143 @@ generators synthesise them with two locality profiles:
 * :func:`mixed_edges` — a configurable blend of the two, which is what the
   benchmark scenarios use.
 
-All generators avoid duplicating existing graph edges and draw weights
-log-uniformly from the graph's own weight range so the new edges look like
-the old ones.
+All insertion generators avoid duplicating existing graph edges and draw
+weights log-uniformly from the graph's own weight range so the new edges look
+like the old ones.
+
+Beyond the paper's insertion-only protocol, this module also models *fully
+dynamic* streams — real workloads (power-grid reconfiguration, FEM remeshing)
+delete edges as often as they add them:
+
+* :class:`InsertionEvent` / :class:`DeletionEvent` — the two event kinds;
+* :class:`MixedBatch` — one batch of interleaved insertions and deletions
+  (deletions apply before insertions, see the class docstring);
+* :func:`removable_edges` — samples existing edges whose sequential removal
+  provably keeps the graph connected (bridges are never chosen).
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
+from repro.graphs.components import non_bridge_edges
 from repro.graphs.graph import Graph, canonical_edge
 from repro.utils.rng import SeedLike, as_rng
 from repro.utils.validation import check_positive_int, check_probability
 
+Edge = Tuple[int, int]
 WeightedEdge = Tuple[int, int, float]
+
+
+@dataclass(frozen=True)
+class InsertionEvent:
+    """One streamed edge insertion: a new ``(u, v)`` wire of given weight."""
+
+    u: int
+    v: int
+    weight: float
+
+    @property
+    def edge(self) -> WeightedEdge:
+        """The event as a ``(u, v, weight)`` triple (canonical orientation)."""
+        key = canonical_edge(self.u, self.v)
+        return (key[0], key[1], self.weight)
+
+
+@dataclass(frozen=True)
+class DeletionEvent:
+    """One streamed edge deletion: the ``(u, v)`` wire is physically removed."""
+
+    u: int
+    v: int
+
+    @property
+    def edge(self) -> Edge:
+        """The deleted edge as a canonical ``(u, v)`` pair."""
+        return canonical_edge(self.u, self.v)
+
+
+StreamEvent = Union[InsertionEvent, DeletionEvent]
+
+
+@dataclass
+class MixedBatch:
+    """One batch of a fully dynamic update stream.
+
+    Semantics: within a batch, **deletions apply before insertions** — the
+    scenario builders guarantee the graph stays connected under that order and
+    the :class:`~repro.core.incremental.InGrassSparsifier` driver applies
+    batches the same way.
+
+    Attributes
+    ----------
+    insertions:
+        Newly added ``(u, v, weight)`` edges.
+    deletions:
+        Removed ``(u, v)`` pairs (canonical orientation).
+    """
+
+    insertions: List[WeightedEdge] = field(default_factory=list)
+    deletions: List[Edge] = field(default_factory=list)
+
+    @property
+    def num_events(self) -> int:
+        """Total number of events (insertions + deletions) in the batch."""
+        return len(self.insertions) + len(self.deletions)
+
+    @property
+    def deletion_fraction(self) -> float:
+        """Fraction of the batch's events that are deletions."""
+        if self.num_events == 0:
+            return 0.0
+        return len(self.deletions) / self.num_events
+
+    def events(self) -> Iterator[StreamEvent]:
+        """Iterate the events in application order (deletions first)."""
+        for u, v in self.deletions:
+            yield DeletionEvent(u, v)
+        for u, v, w in self.insertions:
+            yield InsertionEvent(u, v, w)
+
+    def __len__(self) -> int:
+        return self.num_events
+
+    def __bool__(self) -> bool:
+        return self.num_events > 0
+
+    @classmethod
+    def from_events(cls, events: Sequence[StreamEvent]) -> "MixedBatch":
+        """Bundle a flat event list into a batch (order within kind preserved).
+
+        Because a batch applies its deletions before its insertions,
+        delete-then-insert of the same edge (a switch swap: remove the old
+        strap, wire a replacement) is represented faithfully — but an
+        *insertion followed by a deletion* of the same edge would be silently
+        reordered, so such lists are rejected; split them across two batches
+        instead.
+        """
+        batch = cls()
+        inserted: Set[Edge] = set()
+        for event in events:
+            if isinstance(event, DeletionEvent):
+                if event.edge in inserted:
+                    raise ValueError(
+                        f"edge {event.edge} is inserted and then deleted within one event "
+                        "list; a MixedBatch applies deletions before insertions and cannot "
+                        "preserve that interleaving — split the events across two batches"
+                    )
+                batch.deletions.append(event.edge)
+            elif isinstance(event, InsertionEvent):
+                key = canonical_edge(event.u, event.v)
+                batch.insertions.append(event.edge)
+                inserted.add(key)
+            else:
+                raise TypeError(f"unknown stream event {event!r}")
+        return batch
 
 
 def _weight_sampler(graph: Graph, rng: np.random.Generator):
@@ -148,6 +268,57 @@ def mixed_edges(graph: Graph, count: int, *, long_range_fraction: float = 0.5,
         edges.extend(local_edges)
     order = rng.permutation(len(edges))
     return [edges[int(i)] for i in order]
+
+
+def removable_edges(graph: Graph, count: int, *, seed: SeedLike = None,
+                    protect: Optional[Set[Edge]] = None) -> List[Edge]:
+    """Sample ``count`` existing edges whose sequential removal keeps ``graph`` connected.
+
+    The sampler works on a scratch copy so removing the returned pairs *in
+    order* (or all at once) provably leaves the graph connected.  Edges in
+    ``protect`` are never chosen.
+
+    One Tarjan bridge pass seeds a shuffled candidate queue; each pick is
+    then validated with a single union-find sweep (an edge may have become a
+    bridge since the pass) and the queue is refreshed only when it runs dry —
+    after a refresh the first non-bridge pick always succeeds, so progress is
+    guaranteed without re-running Tarjan per pick.
+
+    Returns fewer than ``count`` pairs when the graph runs out of removable
+    (cycle) edges — a tree has none.
+    """
+    from repro.graphs.validation import removals_keep_connected
+
+    count = check_positive_int(count, "count") if count else 0
+    if count == 0:
+        return []
+    rng = as_rng(seed)
+    protected = set(protect) if protect else set()
+    working = graph.copy()
+    removed: List[Edge] = []
+
+    def fresh_candidates() -> List[Edge]:
+        candidates = [edge for edge in non_bridge_edges(working) if edge not in protected]
+        order = rng.permutation(len(candidates))
+        return [candidates[int(i)] for i in order]
+
+    queue: List[Edge] = []
+    while len(removed) < count:
+        if not queue:
+            # A fresh queue's first pick always succeeds (removing one
+            # non-bridge edge keeps connectivity by definition), so the loop
+            # is guaranteed to progress or terminate here.
+            queue = fresh_candidates()
+            if not queue:
+                break
+        edge = queue.pop()
+        if not working.has_edge(*edge):
+            continue
+        if removals_keep_connected(working, [edge]):
+            working.remove_edge(*edge)
+            removed.append(edge)
+        # else: the edge became a bridge after earlier removals; drop it.
+    return removed
 
 
 def split_into_batches(edges: Sequence[WeightedEdge], num_batches: int) -> List[List[WeightedEdge]]:

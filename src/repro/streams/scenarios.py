@@ -16,17 +16,25 @@ benches and the example scripts all run the identical protocol.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.sparsify.grass import GrassConfig, GrassSparsifier
 from repro.sparsify.metrics import offtree_density
 from repro.spectral.condition import relative_condition_number
-from repro.streams.edge_stream import mixed_edges, split_into_batches
+from repro.streams.edge_stream import (
+    MixedBatch,
+    mixed_edges,
+    removable_edges,
+    split_into_batches,
+)
 from repro.utils.rng import SeedLike, as_rng
-from repro.utils.validation import check_positive, check_positive_int
+from repro.utils.validation import check_positive, check_positive_int, check_probability
 
+Edge = Tuple[int, int]
 WeightedEdge = Tuple[int, int, float]
 
 
@@ -143,3 +151,205 @@ def build_scenario(graph: Graph, config: Optional[ScenarioConfig] = None,
         batches=batches,
         config=config,
     )
+
+
+# --------------------------------------------------------------------------- #
+# Fully dynamic scenarios (insertions + deletions)
+# --------------------------------------------------------------------------- #
+@dataclass
+class DynamicScenarioConfig:
+    """Parameters of the fully dynamic (mixed insert/delete) protocol.
+
+    The stream size follows the same accounting as :class:`ScenarioConfig`
+    (enough *events* to move the off-tree density between the two bounds if
+    every insertion were blindly included), but a configurable fraction of
+    the events are edge deletions drawn from the evolving graph.
+    """
+
+    initial_offtree_density: float = 0.10
+    final_offtree_density: float = 0.34
+    num_iterations: int = 10
+    deletion_fraction: float = 0.35
+    long_range_fraction: float = 0.15
+    locality_hops: int = 2
+    condition_dense_limit: int = 1500
+    grass_tree_method: str = "shortest_path"
+    seed: SeedLike = 0
+
+    def __post_init__(self) -> None:
+        check_positive(self.initial_offtree_density, "initial_offtree_density")
+        check_positive(self.final_offtree_density, "final_offtree_density")
+        if self.final_offtree_density <= self.initial_offtree_density:
+            raise ValueError("final_offtree_density must exceed initial_offtree_density")
+        check_positive_int(self.num_iterations, "num_iterations")
+        check_probability(self.deletion_fraction, "deletion_fraction")
+
+
+@dataclass
+class DynamicScenario:
+    """A fully prepared mixed insert/delete experiment.
+
+    Attributes
+    ----------
+    graph:
+        The original graph ``G(0)``.
+    initial_sparsifier:
+        The GRASS-built initial sparsifier ``H(0)``.
+    initial_condition_number:
+        κ(G(0), H(0)) — the quality target the dynamic sparsifier must hold.
+    batches:
+        The event stream split into ``num_iterations`` :class:`MixedBatch`
+        objects; each batch applies deletions before insertions, and the
+        deletions were chosen so the tracked graph stays connected throughout.
+    config:
+        The protocol parameters used to build the scenario.
+    """
+
+    graph: Graph
+    initial_sparsifier: Graph
+    initial_condition_number: float
+    batches: List[MixedBatch]
+    config: DynamicScenarioConfig
+
+    @property
+    def all_insertions(self) -> List[WeightedEdge]:
+        """Every streamed insertion, flattened in application order."""
+        return [edge for batch in self.batches for edge in batch.insertions]
+
+    @property
+    def all_deletions(self) -> List[Edge]:
+        """Every streamed deletion, flattened in application order."""
+        return [edge for batch in self.batches for edge in batch.deletions]
+
+    @property
+    def num_events(self) -> int:
+        """Total event count of the stream."""
+        return sum(batch.num_events for batch in self.batches)
+
+    @property
+    def deletion_fraction(self) -> float:
+        """Realised fraction of deletion events across the whole stream."""
+        events = self.num_events
+        if events == 0:
+            return 0.0
+        return len(self.all_deletions) / events
+
+    @property
+    def final_graph(self) -> Graph:
+        """``G`` after the full stream: all batches applied in order."""
+        working = self.graph.copy()
+        for batch in self.batches:
+            for u, v in batch.deletions:
+                working.remove_edge(u, v)
+            working.add_edges(batch.insertions, merge="add")
+        return working
+
+    def initial_offtree_density(self) -> float:
+        """Off-tree density of ``H(0)``."""
+        return offtree_density(self.initial_sparsifier)
+
+    def degraded_condition_number(self) -> float:
+        """κ(G(final), H(0)) — quality if the sparsifier is never maintained."""
+        return relative_condition_number(self.final_graph, self.initial_sparsifier,
+                                         dense_limit=self.config.condition_dense_limit)
+
+
+def _simulate_dynamic_stream(graph: Graph, config: DynamicScenarioConfig,
+                             rng: np.random.Generator) -> List[MixedBatch]:
+    """Generate the event stream by simulating it on a scratch copy of ``graph``.
+
+    Working on a live copy guarantees every deletion targets an edge that
+    still exists (possibly one inserted by an earlier batch) and never
+    disconnects the graph, and every insertion is genuinely new at the moment
+    it streams in.
+    """
+    num_events = int(round((config.final_offtree_density - config.initial_offtree_density)
+                           * graph.num_nodes))
+    num_events = max(num_events, config.num_iterations)
+    # Near-equal split of the event budget over the iterations.
+    boundaries = np.linspace(0, num_events, config.num_iterations + 1).astype(int)
+    working = graph.copy()
+    batches: List[MixedBatch] = []
+    deletion_debt = 0.0  # carries fractional deletion quota across batches
+    for start, end in zip(boundaries[:-1], boundaries[1:]):
+        size = int(end - start)
+        if size <= 0:
+            batches.append(MixedBatch())
+            continue
+        deletion_debt += config.deletion_fraction * size
+        num_deletions = min(int(deletion_debt), size)
+        deletions = removable_edges(working, num_deletions, seed=rng)
+        # Only count what was actually deletable: when the graph runs low on
+        # cycle edges the shortfall stays owed, so later batches (enriched by
+        # fresh insertions) can catch the realised fraction back up.
+        deletion_debt -= len(deletions)
+        for u, v in deletions:
+            working.remove_edge(u, v)
+        num_insertions = size - len(deletions)
+        insertions = (mixed_edges(working, num_insertions,
+                                  long_range_fraction=config.long_range_fraction,
+                                  hops=config.locality_hops, seed=rng)
+                      if num_insertions else [])
+        working.add_edges(insertions, merge="add")
+        batches.append(MixedBatch(insertions=insertions, deletions=deletions))
+    return batches
+
+
+def build_dynamic_scenario(graph: Graph, config: Optional[DynamicScenarioConfig] = None,
+                           *, initial_sparsifier: Optional[Graph] = None) -> DynamicScenario:
+    """Prepare a fully dynamic (mixed insert/delete) experiment for ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Original graph ``G(0)``; must be connected.
+    config:
+        Protocol parameters (deletion fraction, batch count, densities).
+    initial_sparsifier:
+        Optional pre-built ``H(0)``; by default a GRASS-style sparsifier at
+        ``config.initial_offtree_density`` is constructed.
+    """
+    config = config if config is not None else DynamicScenarioConfig()
+    rng = as_rng(config.seed)
+
+    if initial_sparsifier is None:
+        grass_config = GrassConfig(target_offtree_density=config.initial_offtree_density,
+                                   tree_method=config.grass_tree_method,
+                                   seed=config.seed)
+        initial_sparsifier = GrassSparsifier(grass_config).sparsify(
+            graph, evaluate_condition=False).sparsifier
+
+    initial_condition = relative_condition_number(graph, initial_sparsifier,
+                                                  dense_limit=config.condition_dense_limit)
+    batches = _simulate_dynamic_stream(graph, config, rng)
+    return DynamicScenario(
+        graph=graph,
+        initial_sparsifier=initial_sparsifier,
+        initial_condition_number=initial_condition,
+        batches=batches,
+        config=config,
+    )
+
+
+def build_churn_scenario(graph: Graph, config: Optional[DynamicScenarioConfig] = None,
+                         *, initial_sparsifier: Optional[Graph] = None) -> DynamicScenario:
+    """Churn workload: a substantial share of events (default 35 %) delete edges.
+
+    Models power-grid reconfiguration — switches open while new straps are
+    added — which is the acceptance scenario for the fully dynamic driver.
+    """
+    if config is None:
+        config = DynamicScenarioConfig(deletion_fraction=0.35)
+    return build_dynamic_scenario(graph, config, initial_sparsifier=initial_sparsifier)
+
+
+def build_deletion_scenario(graph: Graph, config: Optional[DynamicScenarioConfig] = None,
+                            *, initial_sparsifier: Optional[Graph] = None) -> DynamicScenario:
+    """Deletion-heavy workload: most events (default 75 %) remove edges.
+
+    Models staged decommissioning / FEM mesh coarsening, where the sparsifier
+    must keep shedding support without losing connectivity.
+    """
+    if config is None:
+        config = DynamicScenarioConfig(deletion_fraction=0.75)
+    return build_dynamic_scenario(graph, config, initial_sparsifier=initial_sparsifier)

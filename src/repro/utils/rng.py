@@ -8,7 +8,7 @@ letting library users pass whatever they already have at hand.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -7,7 +7,6 @@ import pytest
 
 from repro.graphs import (
     Graph,
-    complete_graph,
     cycle_graph,
     delaunay_graph,
     fe_mesh_2d,

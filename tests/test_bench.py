@@ -7,7 +7,6 @@ CLIs.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.bench import (

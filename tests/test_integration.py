@@ -12,7 +12,6 @@ import runpy
 import sys
 from pathlib import Path
 
-import numpy as np
 import pytest
 
 from repro import (
@@ -25,7 +24,7 @@ from repro.core import run_setup, run_update
 from repro.graphs import grid_circuit_2d, is_connected
 from repro.sparsify import GrassConfig, GrassSparsifier, offtree_density
 from repro.spectral import PCGSolver
-from repro.streams import ScenarioConfig, mixed_edges, split_into_batches
+from repro.streams import ScenarioConfig, mixed_edges
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 

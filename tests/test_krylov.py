@@ -5,13 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.graphs import Graph, cycle_graph, grid_circuit_2d, path_graph
-from repro.spectral import (
-    KrylovBasis,
-    build_krylov_basis,
-    default_krylov_order,
-    krylov_resistance_matrix,
-)
+from repro.graphs import Graph, cycle_graph, path_graph
+from repro.spectral import build_krylov_basis, default_krylov_order, krylov_resistance_matrix
 
 
 class TestDefaultOrder:

@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 
 from repro.core import LRDConfig, ResistanceEmbedding, lrd_decompose
 from repro.core.hierarchy import ClusterHierarchy, LRDLevel
-from repro.graphs import Graph, grid_circuit_2d, paper_figure2_graph, path_graph
+from repro.graphs import Graph, grid_circuit_2d
 from repro.spectral import ExactResistanceCalculator
 
 

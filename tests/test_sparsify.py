@@ -8,7 +8,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graphs import Graph, grid_circuit_2d, is_connected, path_graph
+from repro.graphs import Graph, grid_circuit_2d, is_connected
 from repro.sparsify import (
     FeGrassConfig,
     FeGrassSparsifier,

@@ -8,7 +8,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graphs import Graph, complete_graph, cycle_graph, grid_circuit_2d, path_graph
+from repro.graphs import Graph, complete_graph, grid_circuit_2d, path_graph
 from repro.graphs.laplacian import (
     grounded_laplacian,
     is_laplacian,
