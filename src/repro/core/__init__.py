@@ -2,9 +2,11 @@
 
 from repro.core.config import InGrassConfig, LRDConfig
 from repro.core.distortion import (
+    DistortionBatch,
     DistortionEstimate,
     estimate_distortions,
     filter_by_threshold,
+    score_edges,
     sort_by_distortion,
 )
 from repro.core.embedding import EmbeddingStats, ResistanceEmbedding
@@ -33,8 +35,10 @@ __all__ = [
     "LRDLevel",
     "ResistanceEmbedding",
     "EmbeddingStats",
+    "DistortionBatch",
     "DistortionEstimate",
     "estimate_distortions",
+    "score_edges",
     "sort_by_distortion",
     "filter_by_threshold",
     "SimilarityFilter",

@@ -121,6 +121,17 @@ class InGrassConfig:
         hierarchy + embedding) once this many sparsifier edges have been
         removed since the last setup — the coarse-grained refresh that keeps
         long deletion streams accurate.  ``None`` never refreshes.
+    batch_mode:
+        How streamed batches are scored and filtered: ``"vectorized"`` uses
+        the numpy batch engine (one-shot distortion kernels, group-resolved
+        similarity filtering), ``"scalar"`` keeps the per-edge reference path
+        (the oracle the equivalence suite compares against), and ``"auto"``
+        (default) picks vectorized once a batch reaches
+        ``batch_mode_threshold`` edges.  Both modes produce identical filter
+        decisions and sparsifier edge sets.
+    batch_mode_threshold:
+        Batch size at which ``batch_mode="auto"`` switches to the vectorized
+        engine (below it, numpy dispatch overhead exceeds the win).
     seed:
         Seed for stochastic components.
     """
@@ -139,7 +150,17 @@ class InGrassConfig:
     kappa_guard_batch: int = 8
     kappa_guard_dense_limit: int = 1500
     resetup_after_removals: Optional[int] = None
+    batch_mode: str = "auto"
+    batch_mode_threshold: int = 32
     seed: SeedLike = 0
+
+    def use_vectorized(self, batch_size: int) -> bool:
+        """Resolve the batch-engine choice for a batch of ``batch_size`` edges."""
+        if self.batch_mode == "vectorized":
+            return True
+        if self.batch_mode == "scalar":
+            return False
+        return batch_size >= self.batch_mode_threshold
 
     def __post_init__(self) -> None:
         if self.target_condition_number is not None:
@@ -164,3 +185,8 @@ class InGrassConfig:
         check_positive_int(self.kappa_guard_dense_limit, "kappa_guard_dense_limit")
         if self.resetup_after_removals is not None:
             check_positive_int(self.resetup_after_removals, "resetup_after_removals")
+        if self.batch_mode not in ("auto", "vectorized", "scalar"):
+            raise ValueError(f"unknown batch_mode {self.batch_mode!r}; "
+                             "expected 'auto', 'vectorized' or 'scalar'")
+        if self.batch_mode_threshold < 0:
+            raise ValueError("batch_mode_threshold must be non-negative")

@@ -17,6 +17,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.core.embedding import ResistanceEmbedding
+from repro.graphs.graph import as_edge_triples
 
 WeightedEdge = Tuple[int, int, float]
 
@@ -48,6 +49,90 @@ def estimate_distortions(embedding: ResistanceEmbedding,
         DistortionEstimate(edge=edge, resistance_bound=float(bound), distortion=float(distortion))
         for edge, bound, distortion in zip(new_edges, bounds, distortions)
     ]
+
+
+@dataclass
+class DistortionBatch:
+    """Structure-of-arrays distortion estimates for one streamed batch.
+
+    The batched update engine's counterpart of a ``List[DistortionEstimate]``:
+    parallel numpy arrays instead of per-edge objects, so sorting, threshold
+    cuts and the similarity filter's group resolution are matrix operations.
+    All arrays share the same length and order; ``us``/``vs`` preserve the
+    caller's edge orientation (the update path canonicalises beforehand).
+    """
+
+    us: np.ndarray
+    vs: np.ndarray
+    ws: np.ndarray
+    bounds: np.ndarray
+    distortions: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.us.shape[0])
+
+    def edge(self, index: int) -> WeightedEdge:
+        """The ``(u, v, weight)`` triple at ``index`` (Python scalars)."""
+        return (int(self.us[index]), int(self.vs[index]), float(self.ws[index]))
+
+    def take(self, indices: np.ndarray) -> "DistortionBatch":
+        """Return a new batch holding the rows at ``indices`` (in that order)."""
+        return DistortionBatch(
+            us=self.us[indices], vs=self.vs[indices], ws=self.ws[indices],
+            bounds=self.bounds[indices], distortions=self.distortions[indices],
+        )
+
+    def sort(self) -> "DistortionBatch":
+        """Return the batch sorted by decreasing distortion (stable, like
+        :func:`sort_by_distortion`)."""
+        if len(self) <= 1:
+            return self
+        order = np.argsort(-self.distortions, kind="stable")
+        return self.take(order)
+
+    def split_by_threshold(self, relative_threshold: float) -> Tuple["DistortionBatch", "DistortionBatch"]:
+        """Split into (kept, dropped) batches — see :func:`filter_by_threshold`."""
+        if relative_threshold <= 0 or len(self) == 0:
+            return self, self.take(np.zeros(0, dtype=np.int64))
+        cutoff = relative_threshold * float(np.median(self.distortions))
+        keep = self.distortions >= cutoff
+        return self.take(np.flatnonzero(keep)), self.take(np.flatnonzero(~keep))
+
+    def to_estimates(self) -> List[DistortionEstimate]:
+        """Materialise the per-edge objects of the scalar API (same order)."""
+        us, vs, ws = self.us.tolist(), self.vs.tolist(), self.ws.tolist()
+        bounds, distortions = self.bounds.tolist(), self.distortions.tolist()
+        return [
+            DistortionEstimate(edge=(u, v, w), resistance_bound=bound, distortion=distortion)
+            for u, v, w, bound, distortion in zip(us, vs, ws, bounds, distortions)
+        ]
+
+
+def score_edges(embedding: ResistanceEmbedding,
+                new_edges: Sequence[WeightedEdge]) -> DistortionBatch:
+    """Vectorised :func:`estimate_distortions`: score a whole batch in one shot.
+
+    Same estimates as the scalar function (weight × first-shared-cluster
+    diameter, equation (6)), but produced as a :class:`DistortionBatch` with
+    no per-edge Python work — the embedding lookup is one masked gather per
+    LRD level.
+    """
+    triples = as_edge_triples(new_edges)
+    if triples.size == 0:
+        empty_int = np.zeros(0, dtype=np.int64)
+        empty = np.zeros(0)
+        return DistortionBatch(us=empty_int, vs=empty_int, ws=empty, bounds=empty, distortions=empty)
+    us = triples[:, 0].astype(np.int64)
+    vs = triples[:, 1].astype(np.int64)
+    ws = np.ascontiguousarray(triples[:, 2])
+    return score_edge_arrays(embedding, us, vs, ws)
+
+
+def score_edge_arrays(embedding: ResistanceEmbedding, us: np.ndarray, vs: np.ndarray,
+                      ws: np.ndarray) -> DistortionBatch:
+    """:func:`score_edges` on pre-built endpoint/weight arrays (no conversion)."""
+    bounds = embedding.estimate_resistances_arrays(us, vs)
+    return DistortionBatch(us=us, vs=vs, ws=ws, bounds=bounds, distortions=ws * bounds)
 
 
 def sort_by_distortion(estimates: Sequence[DistortionEstimate]) -> List[DistortionEstimate]:

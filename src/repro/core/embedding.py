@@ -72,6 +72,10 @@ class ResistanceEmbedding:
         """Vectorised resistance estimates for many node pairs."""
         return self._hierarchy.resistance_upper_bounds(pairs)
 
+    def estimate_resistances_arrays(self, ps: np.ndarray, qs: np.ndarray) -> np.ndarray:
+        """Array-native resistance estimates (no per-pair Python loop)."""
+        return self._hierarchy.resistance_upper_bounds_arrays(ps, qs)
+
     def compare_with_exact(self, sparsifier: Graph, pairs: Sequence[Tuple[int, int]]) -> EmbeddingStats:
         """Quantify estimate quality against exact resistances on ``pairs``.
 

@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.distortion import DistortionEstimate
+from repro.core.distortion import DistortionBatch, DistortionEstimate
 from repro.core.hierarchy import ClusterHierarchy
 from repro.graphs.graph import Graph, canonical_edge
 
@@ -220,17 +220,44 @@ class SimilarityFilter:
         return bool(self._connectivity.get(pair))
 
     # ------------------------------------------------------------------ #
-    def _redistribute_weight(self, cluster: int, weight: float) -> None:
-        """Spread ``weight`` proportionally over the sparsifier edges inside ``cluster``."""
+    def _redistribution_deltas(self, cluster: int, weight: float):
+        """Per-edge increments spreading ``weight`` proportionally inside ``cluster``.
+
+        Returns ``(edges, deltas)`` or ``None`` when the cluster offers no
+        positive-weight support — the single source of the redistribution
+        arithmetic shared by the scalar and batched apply paths.
+        """
         edges = list(self._intra_cluster_edges.get(cluster, {}))
         if not edges:
-            return
+            return None
         current_weights = np.array([self._sparsifier.weight(u, v) for u, v in edges])
         total = current_weights.sum()
         if total <= 0:
+            return None
+        return edges, np.maximum(weight * (current_weights / total), 1e-300)
+
+    def _redistribute_weight(self, cluster: int, weight: float) -> None:
+        """Spread ``weight`` proportionally over the sparsifier edges inside ``cluster``."""
+        spread = self._redistribution_deltas(cluster, weight)
+        if spread is None:
             return
-        for (u, v), share in zip(edges, current_weights / total):
-            self._sparsifier.increase_weight(u, v, max(weight * share, 1e-300))
+        edges, deltas = spread
+        for (u, v), delta in zip(edges, deltas):
+            self._sparsifier.increase_weight(u, v, delta)
+
+    def _redistribute_weight_bulk(self, cluster: int, weight: float) -> None:
+        """Aggregated :meth:`_redistribute_weight`: one pass over the cluster.
+
+        Sequential redistributions scale every member edge proportionally, so
+        spreading ``w1`` then ``w2`` equals spreading ``w1 + w2`` in one shot
+        — this method exploits that identity to touch each cluster edge once
+        per batch instead of once per redistributed stream edge.
+        """
+        spread = self._redistribution_deltas(cluster, weight)
+        if spread is None:
+            return
+        edges, deltas = spread
+        self._sparsifier.increase_weights(edges, deltas)
 
     def _apply_single(self, estimate: DistortionEstimate) -> FilterDecision:
         p, q, weight = estimate.edge
@@ -303,4 +330,147 @@ class SimilarityFilter:
                 summary.redistributed += 1
             else:
                 summary.dropped += 1
+        return decisions, summary
+
+    def apply_batch(self, batch: DistortionBatch,
+                    *, max_additions: Optional[int] = None) -> Tuple[List[FilterDecision], FilterSummary]:
+        """Vectorised :meth:`apply`: resolve a distortion-sorted batch by cluster group.
+
+        Produces exactly the same decisions and sparsifier *edge set* as
+        feeding the batch through :meth:`apply` edge by edge; weight
+        mutations are aggregated per target edge / per cluster (differing
+        from the scalar path only in floating-point association), except for
+        clusters that receive both merge and redistribution traffic in one
+        batch, whose operations are replayed in stream order so even the
+        weights stay bit-identical there.
+
+        The mechanism: the cluster labels of every endpoint are gathered in
+        one shot, edges sharing a cluster pair form a group, and each group
+        is resolved once — the first edge of a previously unconnected
+        inter-cluster group is ADDED, everything else merges into its group's
+        representative or redistributes inside its cluster.
+        """
+        m = len(batch)
+        decisions: List[FilterDecision] = []
+        summary = FilterSummary()
+        if m == 0:
+            return decisions, summary
+
+        labels = np.asarray(self._labels)
+        cu = labels[batch.us]
+        cv = labels[batch.vs]
+        lo = np.minimum(cu, cv).tolist()
+        hi = np.maximum(cu, cv).tolist()
+        us = batch.us.tolist()
+        vs = batch.vs.tolist()
+        ws = batch.ws.tolist()
+        distortions = batch.distortions.tolist()
+        sparsifier = self._sparsifier
+        sparsifier_edges = sparsifier._edges  # membership probes + in-loop inserts below
+
+        # Per-cluster-pair state, resolved lazily on first encounter.
+        pair_reps: Dict[ClusterPair, Optional[Tuple[int, int]]] = {}
+        # Aggregated weight increments onto existing/added edges (inter-cluster
+        # merges and clean intra-cluster merges — pure additions, no reads).
+        merge_totals: Dict[Tuple[int, int], float] = defaultdict(float)
+        # Ordered intra-cluster operations; replayed or aggregated after the
+        # decision pass depending on whether the cluster is "dirty" (mixes
+        # merges and redistributions, making order significant).
+        intra_ops: List[Tuple[str, int, Optional[Tuple[int, int]], float]] = []
+        spread_clusters: set = set()
+        merge_clusters: set = set()
+
+        # Local bindings: this loop runs once per streamed edge and is the
+        # only per-edge Python left in the batched engine.
+        decision_cls = FilterDecision
+        action_added = FilterAction.ADDED
+        action_merged = FilterAction.MERGED_INTO_EXISTING
+        action_redistributed = FilterAction.REDISTRIBUTED_INTRA_CLUSTER
+        action_dropped = FilterAction.DROPPED_LOW_DISTORTION
+        redistribute = self._redistribute
+        connectivity = self._connectivity
+        add_unchecked = sparsifier.add_edge_unchecked
+        added = merged = redistributed = dropped = 0
+        append_decision = decisions.append
+        append_intra = intra_ops.append
+        reps_get = pair_reps.get
+        missing = object()  # sentinel: pair not seen yet (None = "seen, no rep")
+        no_cap = max_additions is None
+
+        for p, q, weight, cluster_lo, cluster_hi, distortion in zip(us, vs, ws, lo, hi, distortions):
+            capped = not (no_cap or added < max_additions)
+            if cluster_lo == cluster_hi:
+                key = (p, q) if p <= q else (q, p)
+                if not capped and key in sparsifier_edges:
+                    # Parallel conductor of an edge the sparsifier carries.
+                    append_intra(("merge", cluster_lo, key, weight))
+                    merge_clusters.add(cluster_lo)
+                    decision = decision_cls((p, q, weight), action_merged, distortion,
+                                            (p, q), (cluster_lo, cluster_hi))
+                    merged += 1
+                else:
+                    if redistribute:
+                        append_intra(("spread", cluster_lo, None, weight))
+                        spread_clusters.add(cluster_lo)
+                    decision = decision_cls((p, q, weight), action_redistributed, distortion,
+                                            None, (cluster_lo, cluster_hi))
+                    redistributed += 1
+            else:
+                pair = (cluster_lo, cluster_hi)
+                representative = reps_get(pair, missing)
+                if representative is missing:
+                    representative = self._representative(pair)
+                    pair_reps[pair] = representative
+                if representative is not None:
+                    merge_totals[representative] += weight
+                    decision = decision_cls((p, q, weight), action_merged, distortion,
+                                            representative, pair)
+                    merged += 1
+                elif capped:
+                    decision = decision_cls((p, q, weight), action_dropped, distortion,
+                                            None, pair)
+                    dropped += 1
+                else:
+                    # Spectrally unique: admit and make the connection visible
+                    # to the rest of the batch (inline _register_edge — the
+                    # cluster pair is already in hand).
+                    key = (p, q) if p <= q else (q, p)
+                    add_unchecked(p, q, weight)
+                    bucket = connectivity.get(pair)
+                    if bucket is None:
+                        connectivity[pair] = {key: None}
+                    else:
+                        bucket[key] = None
+                    pair_reps[pair] = key
+                    decision = decision_cls((p, q, weight), action_added, distortion,
+                                            None, pair)
+                    added += 1
+            append_decision(decision)
+        summary.added = added
+        summary.merged = merged
+        summary.redistributed = redistributed
+        summary.dropped = dropped
+
+        # Apply the aggregated mutations.  Inter-cluster merge targets are
+        # disjoint from intra-cluster redistribution targets, so their order
+        # does not matter; intra ops in clusters mixing merges and
+        # redistributions are replayed in stream order for exactness.
+        dirty = merge_clusters & spread_clusters
+        spread_totals: Dict[int, float] = {}
+        for kind, cluster, key, weight in intra_ops:
+            if cluster in dirty:
+                if kind == "merge":
+                    self._sparsifier.increase_weight(key[0], key[1], weight)
+                else:
+                    self._redistribute_weight(cluster, weight)
+            elif kind == "merge":
+                merge_totals[key] = merge_totals.get(key, 0.0) + weight
+            else:
+                spread_totals[cluster] = spread_totals.get(cluster, 0.0) + weight
+        if merge_totals:
+            targets = list(merge_totals.keys())
+            self._sparsifier.increase_weights(targets, np.fromiter(merge_totals.values(), dtype=float,
+                                                                   count=len(targets)))
+        for cluster, weight in spread_totals.items():
+            self._redistribute_weight_bulk(cluster, weight)
         return decisions, summary

@@ -285,7 +285,7 @@ class InGrassSparsifier:
             )
         # Capture the physical weights while removing so run_removal can
         # re-home conductance that merges parked on removed sparsifier edges.
-        removed_with_weights = [(u, v, graph.remove_edge(u, v)) for u, v in pairs]
+        removed_with_weights = graph.remove_edges(pairs)
         result = run_removal(
             sparsifier, self._setup, removed_with_weights,
             graph=graph, config=self.config,
@@ -333,10 +333,20 @@ class InGrassSparsifier:
         # edges are consumed twice (graph insertion + distortion ranking).
         new_edges = list(batch)
         result = self._apply_insertions(new_edges)
-        self._total_update_seconds += result.update_seconds
-        self._record_iteration(streamed=len(new_edges), removed=0, repairs=0,
+        # Run the κ guard exactly as a MixedBatch holding the same insertions
+        # would, so update_many histories are identical regardless of how a
+        # batch was packaged; guard time and additions land in the same
+        # record columns as the apply_batch path uses.
+        result.kappa_guard = self._run_guard() if new_edges else None
+        seconds = result.update_seconds
+        repairs = 0
+        if result.kappa_guard is not None:
+            seconds += result.kappa_guard.guard_seconds
+            repairs = len(result.kappa_guard.added_edges)
+        self._total_update_seconds += seconds
+        self._record_iteration(streamed=len(new_edges), removed=0, repairs=repairs,
                                insertion=result, removal=None,
-                               seconds=result.update_seconds)
+                               seconds=seconds)
         return result
 
     def remove(self, deletions: Iterable[Edge]) -> RemovalResult:

@@ -34,6 +34,8 @@ from repro.core.config import InGrassConfig
 from repro.core.distortion import (
     estimate_distortions,
     filter_by_threshold,
+    score_edge_arrays,
+    score_edges,
     sort_by_distortion,
 )
 from repro.core.filtering import FilterAction, FilterDecision, FilterSummary, SimilarityFilter
@@ -43,7 +45,7 @@ from repro.graphs.unionfind import UnionFind
 from repro.graphs.validation import (
     GraphValidationError,
     canonicalize_edge_pairs,
-    validate_new_edges,
+    validate_new_edge_arrays,
 )
 from repro.utils.timing import Timer
 
@@ -60,6 +62,10 @@ class UpdateResult:
     filtering_level: int
     update_seconds: float
     dropped_low_distortion: int = 0
+    #: Report of the κ-guard pass, when the driver ran one after this batch
+    #: (mirrors :attr:`RemovalResult.kappa_guard` so insertion-only batches
+    #: carry the same quality bookkeeping as mixed ones).
+    kappa_guard: Optional["KappaGuardReport"] = None
 
     @property
     def added_edges(self) -> List[WeightedEdge]:
@@ -119,31 +125,51 @@ def run_update(sparsifier: Graph, setup: SetupResult, new_edges: Sequence[Weight
     """
     config = config if config is not None else InGrassConfig()
     timer = Timer().start()
-    cleaned = validate_new_edges(sparsifier, new_edges)
+    us, vs, ws = validate_new_edge_arrays(sparsifier, new_edges)
+    batch_size = int(us.shape[0])
 
     level = _select_filtering_level(setup, config, target_condition_number)
     similarity_filter = _ensure_filter(sparsifier, setup, level, config, similarity_filter)
 
-    estimates = estimate_distortions(setup.embedding, cleaned)
-    estimates, dropped = filter_by_threshold(estimates, config.distortion_threshold)
-    estimates = sort_by_distortion(estimates)
     max_additions = None
     if config.max_fill_fraction < 1.0:
-        max_additions = max(1, int(round(config.max_fill_fraction * len(cleaned))))
-    decisions, summary = similarity_filter.apply(estimates, max_additions=max_additions)
-    summary.dropped += len(dropped)
-    for item in dropped:
-        decisions.append(
-            FilterDecision(edge=item.edge, action=FilterAction.DROPPED_LOW_DISTORTION,
-                           distortion=item.distortion)
-        )
+        max_additions = max(1, int(round(config.max_fill_fraction * batch_size)))
+
+    if config.use_vectorized(batch_size):
+        # Batched engine: score, threshold and sort the whole stream as
+        # numpy arrays, then resolve the similarity filter per cluster group.
+        batch = score_edge_arrays(setup.embedding, us, vs, ws)
+        batch, dropped_batch = batch.split_by_threshold(config.distortion_threshold)
+        decisions, summary = similarity_filter.apply_batch(batch.sort(), max_additions=max_additions)
+        num_dropped = len(dropped_batch)
+        summary.dropped += num_dropped
+        dropped_distortions = dropped_batch.distortions.tolist()
+        for index in range(num_dropped):
+            decisions.append(
+                FilterDecision(edge=dropped_batch.edge(index),
+                               action=FilterAction.DROPPED_LOW_DISTORTION,
+                               distortion=dropped_distortions[index])
+            )
+    else:
+        cleaned = list(zip(us.tolist(), vs.tolist(), ws.tolist()))
+        estimates = estimate_distortions(setup.embedding, cleaned)
+        estimates, dropped = filter_by_threshold(estimates, config.distortion_threshold)
+        estimates = sort_by_distortion(estimates)
+        decisions, summary = similarity_filter.apply(estimates, max_additions=max_additions)
+        num_dropped = len(dropped)
+        summary.dropped += num_dropped
+        for item in dropped:
+            decisions.append(
+                FilterDecision(edge=item.edge, action=FilterAction.DROPPED_LOW_DISTORTION,
+                               distortion=item.distortion)
+            )
     timer.stop()
     return UpdateResult(
         decisions=decisions,
         summary=summary,
         filtering_level=level,
         update_seconds=timer.elapsed,
-        dropped_low_distortion=len(dropped),
+        dropped_low_distortion=num_dropped,
     )
 
 
@@ -210,6 +236,27 @@ class KappaGuardReport:
         return self.kappa_after <= self.bound
 
 
+def _rank_candidates(setup: SetupResult, candidates: Sequence[WeightedEdge], config: InGrassConfig,
+                     *, relative_threshold: float = 0.0) -> List[WeightedEdge]:
+    """Candidate edges sorted by decreasing estimated distortion.
+
+    Dispatches between the vectorised batch kernels and the per-edge scalar
+    path via ``config.batch_mode``; both give the same (stable) order.
+    """
+    if not candidates:
+        return []
+    if config.use_vectorized(len(candidates)):
+        batch = score_edges(setup.embedding, candidates)
+        if relative_threshold > 0:
+            batch, _ = batch.split_by_threshold(relative_threshold)
+        batch = batch.sort()
+        return list(zip(batch.us.tolist(), batch.vs.tolist(), batch.ws.tolist()))
+    estimates = estimate_distortions(setup.embedding, candidates)
+    if relative_threshold > 0:
+        estimates, _ = filter_by_threshold(estimates, relative_threshold)
+    return [estimate.edge for estimate in sort_by_distortion(estimates)]
+
+
 def _offtree_candidates(graph: Graph, sparsifier: Graph, around: Sequence[int]) -> List[WeightedEdge]:
     """Graph edges incident to ``around`` nodes that the sparsifier does not carry."""
     seen: dict[Edge, float] = {}
@@ -222,7 +269,8 @@ def _offtree_candidates(graph: Graph, sparsifier: Graph, around: Sequence[int]) 
 
 
 def _reconnect_sparsifier(sparsifier: Graph, graph: Graph, setup: SetupResult,
-                          similarity_filter: SimilarityFilter) -> List[WeightedEdge]:
+                          similarity_filter: SimilarityFilter,
+                          config: InGrassConfig) -> List[WeightedEdge]:
     """Restore sparsifier connectivity using the most-distorting graph edges.
 
     Builds the component structure of the (possibly split) sparsifier, ranks
@@ -241,10 +289,9 @@ def _reconnect_sparsifier(sparsifier: Graph, graph: Graph, setup: SetupResult,
             "sparsifier disconnected and the tracked graph offers no reconnecting edge "
             "(was the graph itself disconnected by the removals?)"
         )
-    ranked = sort_by_distortion(estimate_distortions(setup.embedding, crossing))
+    ranked = _rank_candidates(setup, crossing, config)
     added: List[WeightedEdge] = []
-    for estimate in ranked:
-        u, v, w = estimate.edge
+    for u, v, w in ranked:
         if uf.union(u, v):
             sparsifier.add_edge(u, v, w, merge="add")
             similarity_filter.notify_edge_added(u, v)
@@ -361,7 +408,8 @@ def run_removal(sparsifier: Graph, setup: SetupResult, removals: Sequence, *,
         return result
 
     # Step 2: reconnect if any removal split the sparsifier.
-    result.reconnection_edges = _reconnect_sparsifier(sparsifier, graph, setup, similarity_filter)
+    result.reconnection_edges = _reconnect_sparsifier(sparsifier, graph, setup,
+                                                      similarity_filter, config)
 
     # Step 3: local quality repair around the removed edges — the best
     # off-sparsifier graph edges incident to the endpoints, ranked by the LRD
@@ -375,12 +423,11 @@ def run_removal(sparsifier: Graph, setup: SetupResult, removals: Sequence, *,
         endpoints = sorted({node for u, v, _ in removed_from_sparsifier for node in (u, v)})
         candidates = _offtree_candidates(graph, sparsifier, endpoints)
         if candidates:
-            estimates = estimate_distortions(setup.embedding, candidates)
-            estimates, _ = filter_by_threshold(estimates, config.distortion_threshold)
-            for estimate in sort_by_distortion(estimates):
+            ranked = _rank_candidates(setup, candidates, config,
+                                      relative_threshold=config.distortion_threshold)
+            for p, q, weight in ranked:
                 if len(result.repair_edges) >= repair_cap:
                     break
-                p, q, weight = estimate.edge
                 if similarity_filter.connects_clusters(p, q):
                     result.repair_skipped += 1
                     continue

@@ -5,6 +5,13 @@ The :class:`Graph` class stores edges in a canonical dictionary keyed by
 and membership tests O(1) — exactly the operations the inGRASS update phase
 performs per newly streamed edge — while still exposing vectorised COO views
 and scipy sparse matrices for the spectral algebra.
+
+The array views (:meth:`Graph.edge_arrays`, :meth:`Graph.adjacency_matrix`)
+are cached and invalidated on mutation, so repeated spectral algebra on a
+quiescent graph never rebuilds them; :meth:`Graph.add_edges` and
+:meth:`Graph.remove_edges` validate whole batches with numpy before touching
+the dictionaries, which is what keeps the per-edge constant of the batched
+update engine flat for 10⁵-edge streams.
 """
 
 from __future__ import annotations
@@ -23,6 +30,62 @@ WeightedEdge = Tuple[int, int, float]
 def canonical_edge(u: int, v: int) -> Edge:
     """Return the canonical (sorted) form of an undirected edge key."""
     return (u, v) if u <= v else (v, u)
+
+
+def as_edge_triples(edges: Iterable[WeightedEdge]) -> np.ndarray:
+    """Coerce an edge iterable (or ``(m, 3)`` ndarray) to a float ``(m, 3)`` array.
+
+    Pure shape/dtype coercion without validation — shared by
+    :func:`coerce_edge_triple_arrays` and the distortion batch kernels.
+    An empty input yields an empty ``(0, 3)`` array.
+    """
+    if isinstance(edges, np.ndarray) and edges.ndim == 2 and edges.shape[1] == 3:
+        return edges.astype(float, copy=False)
+    triples = np.asarray(edges if isinstance(edges, list) else list(edges), dtype=float)
+    if triples.size == 0:
+        return np.zeros((0, 3))
+    return triples
+
+
+def coerce_edge_triple_arrays(edges: Iterable[WeightedEdge], num_nodes: int,
+                              *, error_cls: type = ValueError,
+                              ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Validate a batch of ``(u, v, weight)`` triples in one numpy pass.
+
+    Shared kernel of :meth:`Graph.add_edges` and
+    :func:`repro.graphs.validation.validate_new_edge_arrays`, so the batch
+    rules (integer endpoints in range, no self-loops, positive finite
+    weights) live in exactly one place.  Returns canonically oriented
+    ``(us, vs, ws)`` arrays in input order, *without* deduplication; raises
+    ``error_cls`` (a ``ValueError`` subclass) on the first violation.
+    """
+    triples = as_edge_triples(edges)
+    if triples.size == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), np.zeros(0)
+    if triples.ndim != 2 or triples.shape[1] != 3:
+        raise error_cls(f"expected (u, v, weight) triples, got shape {triples.shape}")
+    us = triples[:, 0].astype(np.int64)
+    vs = triples[:, 1].astype(np.int64)
+    ws = np.ascontiguousarray(triples[:, 2])
+    if np.any((us != triples[:, 0]) | (vs != triples[:, 1])):
+        raise error_cls("edge endpoints must be integers")
+    loops = us == vs
+    if loops.any():
+        bad = int(np.flatnonzero(loops)[0])
+        raise error_cls(f"self-loops are not allowed (node {int(us[bad])})")
+    out_of_range = (us < 0) | (vs < 0) | (us >= num_nodes) | (vs >= num_nodes)
+    if out_of_range.any():
+        bad = int(np.flatnonzero(out_of_range)[0])
+        raise error_cls(
+            f"edge ({int(us[bad])}, {int(vs[bad])}) references a node outside 0..{num_nodes - 1}"
+        )
+    invalid = ~np.isfinite(ws) | (ws <= 0)
+    if invalid.any():
+        bad = int(np.flatnonzero(invalid)[0])
+        raise error_cls(
+            f"edge ({int(us[bad])}, {int(vs[bad])}) has non-positive weight {float(ws[bad])}"
+        )
+    return np.minimum(us, vs), np.maximum(us, vs), ws
 
 
 class Graph:
@@ -50,9 +113,15 @@ class Graph:
         self._num_nodes = int(num_nodes)
         self._edges: Dict[Edge, float] = {}
         self._adjacency: List[Dict[int, float]] = [dict() for _ in range(self._num_nodes)]
+        # Lazily built, mutation-invalidated views (COO arrays, CSR adjacency).
+        self._arrays_cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._csr_cache: Optional[sp.csr_matrix] = None
         if edges is not None:
-            for u, v, w in edges:
-                self.add_edge(int(u), int(v), float(w), merge="add")
+            self.add_edges(edges, merge="add")
+
+    def _invalidate_views(self) -> None:
+        self._arrays_cache = None
+        self._csr_cache = None
 
     # ------------------------------------------------------------------ #
     # Basic properties
@@ -94,6 +163,8 @@ class Graph:
             (parallel resistors), ``"replace"`` overwrites, ``"max"`` keeps
             the larger weight and ``"error"`` raises.
         """
+        if merge not in ("add", "max", "replace", "error"):
+            raise ValueError(f"unknown merge policy {merge!r}")
         u = check_node_index(u, self._num_nodes, "u")
         v = check_node_index(v, self._num_nodes, "v")
         if u == v:
@@ -105,20 +176,70 @@ class Graph:
                 weight = self._edges[key] + weight
             elif merge == "max":
                 weight = max(self._edges[key], weight)
-            elif merge == "replace":
-                pass
             elif merge == "error":
                 raise ValueError(f"edge {key} already exists")
-            else:
-                raise ValueError(f"unknown merge policy {merge!r}")
+            # merge == "replace": keep the new weight.
         self._edges[key] = weight
         self._adjacency[u][v] = weight
         self._adjacency[v][u] = weight
+        self._invalidate_views()
 
     def add_edges(self, edges: Iterable[WeightedEdge], merge: str = "add") -> None:
-        """Insert many edges at once (see :meth:`add_edge`)."""
-        for u, v, w in edges:
-            self.add_edge(int(u), int(v), float(w), merge=merge)
+        """Insert many edges at once (see :meth:`add_edge` for the semantics).
+
+        The whole batch is validated with numpy in one shot (bounds,
+        self-loops, positive finite weights) before the adjacency structures
+        are touched, so streaming 10⁵ edges does not pay 10⁵ Python-level
+        validation call chains.  Semantics are identical to calling
+        :meth:`add_edge` per edge, including the merge policy order.
+        """
+        if merge not in ("add", "max", "replace", "error"):
+            raise ValueError(f"unknown merge policy {merge!r}")
+        us, vs, ws = coerce_edge_triple_arrays(edges, self._num_nodes)
+        if us.size == 0:
+            return
+        lo = us.tolist()
+        hi = vs.tolist()
+        weights = ws.tolist()
+        edge_map = self._edges
+        adjacency = self._adjacency
+        try:
+            for u, v, weight in zip(lo, hi, weights):
+                key = (u, v)
+                existing = edge_map.get(key)
+                if existing is not None:
+                    if merge == "add":
+                        weight = existing + weight
+                    elif merge == "max":
+                        weight = max(existing, weight)
+                    elif merge == "error":
+                        raise ValueError(f"edge {key} already exists")
+                    # merge == "replace": keep the new weight.
+                edge_map[key] = weight
+                adjacency[u][v] = weight
+                adjacency[v][u] = weight
+        finally:
+            # merge="error" can raise mid-batch; the views must reflect the
+            # edges inserted before the failure.
+            self._invalidate_views()
+
+    def add_edge_unchecked(self, u: int, v: int, weight: float) -> None:
+        """Insert ``(u, v, weight)`` with ``merge="add"`` semantics, skipping validation.
+
+        For batch engines that have already validated the whole stream with
+        numpy (:func:`repro.graphs.validation.validate_new_edge_arrays`);
+        ``u``/``v``/``weight`` must be Python scalars, distinct, in range and
+        positive — violating that corrupts the adjacency structure.
+        """
+        key = (u, v) if u <= v else (v, u)
+        existing = self._edges.get(key)
+        if existing is not None:
+            weight = existing + weight
+        self._edges[key] = weight
+        self._adjacency[u][v] = weight
+        self._adjacency[v][u] = weight
+        self._arrays_cache = None
+        self._csr_cache = None
 
     def remove_edge(self, u: int, v: int) -> float:
         """Remove edge ``(u, v)`` and return its weight; raise if absent."""
@@ -128,7 +249,36 @@ class Graph:
         weight = self._edges.pop(key)
         del self._adjacency[key[0]][key[1]]
         del self._adjacency[key[1]][key[0]]
+        self._invalidate_views()
         return weight
+
+    def remove_edges(self, pairs: Iterable[Edge]) -> List[WeightedEdge]:
+        """Remove many edges at once; return the ``(u, v, weight)`` triples removed.
+
+        Pairs are canonicalised first and every pair must exist (matching
+        :meth:`remove_edge`); the returned triples carry the weight each edge
+        had at removal time, in input order.  Duplicated pairs raise (the
+        second occurrence no longer exists).
+        """
+        removed: List[WeightedEdge] = []
+        edge_map = self._edges
+        adjacency = self._adjacency
+        try:
+            for item in pairs:
+                u, v = int(item[0]), int(item[1])
+                key = (u, v) if u <= v else (v, u)
+                weight = edge_map.pop(key, None)
+                if weight is None:
+                    raise KeyError(f"edge {key} not in graph")
+                del adjacency[key[0]][key[1]]
+                del adjacency[key[1]][key[0]]
+                removed.append((key[0], key[1], weight))
+        finally:
+            # A missing pair raises mid-batch; the views must reflect the
+            # edges removed before the failure.
+            if removed:
+                self._invalidate_views()
+        return removed
 
     def set_weight(self, u: int, v: int, weight: float) -> None:
         """Overwrite the weight of an existing edge."""
@@ -139,6 +289,7 @@ class Graph:
         self._edges[key] = weight
         self._adjacency[key[0]][key[1]] = weight
         self._adjacency[key[1]][key[0]] = weight
+        self._invalidate_views()
 
     def scale_weight(self, u: int, v: int, factor: float) -> float:
         """Multiply the weight of an existing edge by ``factor``; return the new weight."""
@@ -159,6 +310,38 @@ class Graph:
         new_weight = self._edges[key] + delta
         self.set_weight(u, v, new_weight)
         return new_weight
+
+    def increase_weights(self, pairs: Sequence[Edge], deltas: np.ndarray) -> None:
+        """Add ``deltas[i]`` to the weight of existing edge ``pairs[i]`` (bulk).
+
+        The batched similarity filter uses this to apply one aggregated
+        weight redistribution per cluster instead of one Python call chain
+        per edge.  All edges must exist and all deltas must be positive.
+        """
+        deltas = np.asarray(deltas, dtype=float)
+        if len(pairs) != deltas.shape[0]:
+            raise ValueError(f"{len(pairs)} pairs but {deltas.shape[0]} deltas")
+        if deltas.size and (not np.all(np.isfinite(deltas)) or np.any(deltas <= 0)):
+            raise ValueError("deltas must be positive and finite")
+        edge_map = self._edges
+        adjacency = self._adjacency
+        touched = False
+        try:
+            for (u, v), delta in zip(pairs, deltas.tolist()):
+                key = (u, v) if u <= v else (v, u)
+                existing = edge_map.get(key)
+                if existing is None:
+                    raise KeyError(f"edge {key} not in graph")
+                weight = existing + delta
+                edge_map[key] = weight
+                adjacency[key[0]][key[1]] = weight
+                adjacency[key[1]][key[0]] = weight
+                touched = True
+        finally:
+            # A missing edge raises mid-batch; the views must reflect the
+            # weights updated before the failure.
+            if touched:
+                self._invalidate_views()
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -231,19 +414,39 @@ class Graph:
     # Array / matrix views
     # ------------------------------------------------------------------ #
     def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Return parallel arrays ``(u, v, w)`` of all edges (canonical order)."""
-        m = self.num_edges
-        us = np.empty(m, dtype=np.int64)
-        vs = np.empty(m, dtype=np.int64)
-        ws = np.empty(m, dtype=float)
-        for i, ((u, v), w) in enumerate(self._edges.items()):
-            us[i] = u
-            vs[i] = v
-            ws[i] = w
-        return us, vs, ws
+        """Return parallel arrays ``(u, v, w)`` of all edges (canonical order).
+
+        The arrays are cached until the next mutation and returned read-only,
+        so repeated spectral algebra on an unchanged graph costs nothing.
+        """
+        if self._arrays_cache is None:
+            m = self.num_edges
+            if m:
+                keys = np.fromiter(self._edges.keys(), dtype=np.dtype((np.int64, 2)), count=m)
+                us = np.ascontiguousarray(keys[:, 0])
+                vs = np.ascontiguousarray(keys[:, 1])
+            else:
+                us = np.empty(0, dtype=np.int64)
+                vs = np.empty(0, dtype=np.int64)
+            ws = np.fromiter(self._edges.values(), dtype=float, count=m)
+            for array in (us, vs, ws):
+                array.flags.writeable = False
+            self._arrays_cache = (us, vs, ws)
+        return self._arrays_cache
 
     def adjacency_matrix(self, dtype: type = float) -> sp.csr_matrix:
-        """Return the symmetric weighted adjacency matrix in CSR form."""
+        """Return the symmetric weighted adjacency matrix in CSR form.
+
+        The float CSR form is cached until the next mutation; callers receive
+        a copy so they can scale/slice it freely.
+        """
+        if dtype is not float:
+            return self._build_adjacency(dtype)
+        if self._csr_cache is None:
+            self._csr_cache = self._build_adjacency(float)
+        return self._csr_cache.copy()
+
+    def _build_adjacency(self, dtype: type) -> sp.csr_matrix:
         us, vs, ws = self.edge_arrays()
         rows = np.concatenate([us, vs])
         cols = np.concatenate([vs, us])

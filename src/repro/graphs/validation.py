@@ -7,7 +7,7 @@ from typing import Iterable, List, Tuple
 import numpy as np
 
 from repro.graphs.components import is_connected
-from repro.graphs.graph import Graph
+from repro.graphs.graph import Graph, coerce_edge_triple_arrays
 from repro.graphs.unionfind import UnionFind
 
 
@@ -37,6 +37,35 @@ def validate_sparsifier_support(graph: Graph, sparsifier: Graph, allow_new_edges
             )
 
 
+def validate_new_edge_arrays(graph: Graph,
+                             new_edges: Iterable[Tuple[int, int, float]]) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Array-native :func:`validate_new_edges`: one numpy pass over the batch.
+
+    Returns parallel ``(us, vs, ws)`` arrays of the cleaned batch —
+    canonically oriented, deduplicated (weights of within-batch parallel
+    edges summed, first-occurrence order preserved) — without any per-edge
+    Python validation chain.  The per-edge rules are shared with
+    :meth:`Graph.add_edges` via
+    :func:`repro.graphs.graph.coerce_edge_triple_arrays`.
+    """
+    lo, hi, ws = coerce_edge_triple_arrays(new_edges, graph.num_nodes,
+                                           error_cls=GraphValidationError)
+    if lo.size == 0:
+        return lo, hi, ws
+    keys = lo * np.int64(graph.num_nodes) + hi
+    unique_keys, first_index, inverse = np.unique(keys, return_index=True, return_inverse=True)
+    if unique_keys.shape[0] == keys.shape[0]:
+        return lo, hi, ws
+    # Parallel edges within the batch: sum their weights onto the first
+    # occurrence, keeping first-occurrence order (what the scalar dict did).
+    order = np.argsort(first_index, kind="stable")
+    rank = np.empty_like(order)
+    rank[order] = np.arange(order.shape[0])
+    summed = np.bincount(rank[inverse], weights=ws, minlength=order.shape[0])
+    kept = first_index[order]
+    return lo[kept], hi[kept], summed
+
+
 def validate_new_edges(graph: Graph, new_edges: Iterable[Tuple[int, int, float]]) -> List[Tuple[int, int, float]]:
     """Validate a batch of candidate edge insertions.
 
@@ -44,18 +73,8 @@ def validate_new_edges(graph: Graph, new_edges: Iterable[Tuple[int, int, float]]
     weights must be positive; duplicate edges within the batch are merged by
     summing weights (parallel conductors).
     """
-    merged: dict[tuple[int, int], float] = {}
-    for u, v, w in new_edges:
-        u, v, w = int(u), int(v), float(w)
-        if u == v:
-            raise GraphValidationError(f"self-loop insertion ({u}, {v}) is not allowed")
-        if u < 0 or v < 0 or u >= graph.num_nodes or v >= graph.num_nodes:
-            raise GraphValidationError(f"edge ({u}, {v}) references a node outside the graph")
-        if not np.isfinite(w) or w <= 0:
-            raise GraphValidationError(f"edge ({u}, {v}) has non-positive weight {w}")
-        key = (u, v) if u < v else (v, u)
-        merged[key] = merged.get(key, 0.0) + w
-    return [(u, v, w) for (u, v), w in merged.items()]
+    us, vs, ws = validate_new_edge_arrays(graph, new_edges)
+    return list(zip(us.tolist(), vs.tolist(), ws.tolist()))
 
 
 def canonicalize_edge_pairs(pairs: Iterable[Tuple[int, int]]) -> List[Tuple[int, int]]:
