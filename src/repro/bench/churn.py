@@ -27,10 +27,12 @@ def print_churn(records: Sequence[ChurnRecord]) -> str:
         rows.append(
             {
                 "Test case": f"{record.case} ({record.paper_case})",
+                "Mode": record.hierarchy_mode,
                 "Events": f"{record.insertions}+/{record.deletions}-",
                 "Del %": percent(record.deletion_fraction),
                 "H-removals": record.sparsifier_removals,
                 "Repairs": record.repair_edges,
+                "Resetups": record.full_resetups,
                 "kappa target": record.target_condition_number,
                 "kappa max": record.max_condition_number,
                 "kappa final": record.final_condition_number,
@@ -38,6 +40,8 @@ def print_churn(records: Sequence[ChurnRecord]) -> str:
                 "Density": percent(record.final_offtree_density),
                 "Connected": "yes" if record.stayed_connected else "NO",
                 "T (s)": record.ingrass_seconds,
+                "Maint (s)": record.maintenance_seconds,
+                "Resetup (s)": record.resetup_seconds,
             }
         )
     return format_table(rows, list(rows[0].keys()) if rows else [], precision=2)
@@ -52,6 +56,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="fraction of streamed events that delete edges")
     parser.add_argument("--no-guard", action="store_true",
                         help="disable the kappa guard (pure O(log N) updates)")
+    parser.add_argument("--hierarchy-mode", default="rebuild",
+                        choices=["rebuild", "maintain", "both"],
+                        help="hierarchy tracking: inflate+rebuild, in-place maintenance, "
+                             "or both (one row per mode for comparison)")
+    parser.add_argument("--resetup-after", type=int, default=None,
+                        help="rebuild mode: full re-setup after this many sparsifier "
+                             "edge removals (default: never)")
+    parser.add_argument("--iterations", type=int, default=None,
+                        help="override the number of streamed batches")
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
 
@@ -62,8 +75,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         cases = TABLE_CASES
     config = HarnessConfig(scale=args.scale, seed=args.seed)
-    records = run_churn(cases, config, deletion_fraction=args.deletion_fraction,
-                        kappa_guard_factor=None if args.no_guard else 1.8)
+    if args.iterations is not None:
+        config.num_iterations = args.iterations
+    modes = (["rebuild", "maintain"] if args.hierarchy_mode == "both"
+             else [args.hierarchy_mode])
+    records = []
+    for mode in modes:
+        records.extend(
+            run_churn(cases, config, deletion_fraction=args.deletion_fraction,
+                      kappa_guard_factor=None if args.no_guard else 1.8,
+                      hierarchy_mode=mode,
+                      resetup_after_removals=args.resetup_after)
+        )
     print("Churn — fully dynamic sparsification under mixed insert/delete streams "
           f"({percent(args.deletion_fraction)} deletions, per-iteration kappa tracking)")
     print(print_churn(records))

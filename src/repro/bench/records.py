@@ -138,6 +138,19 @@ class ChurnRecord:
     stayed_connected: bool
     ingrass_seconds: float
     ingrass_setup_seconds: float
+    #: How the LRD hierarchy tracked the stream: ``"rebuild"`` (diameter
+    #: inflation + periodic full re-setups) or ``"maintain"`` (in-place
+    #: cluster splices/merges, zero full re-setups).
+    hierarchy_mode: str = "rebuild"
+    #: Full setup refreshes the driver paid during the stream.
+    full_resetups: int = 0
+    #: Wall-clock spent in those full refreshes.
+    resetup_seconds: float = 0.0
+    #: Wall-clock spent inside the hierarchy maintainer (maintain mode).
+    maintenance_seconds: float = 0.0
+    #: Clusters spliced / fused by the maintainer (maintain mode).
+    hierarchy_splices: int = 0
+    hierarchy_merges: int = 0
 
     @property
     def kappa_ratio(self) -> float:

@@ -10,11 +10,23 @@ from repro.core.distortion import (
     sort_by_distortion,
 )
 from repro.core.embedding import EmbeddingStats, ResistanceEmbedding
-from repro.core.filtering import FilterAction, FilterDecision, FilterSummary, SimilarityFilter
+from repro.core.filtering import (
+    FilterAction,
+    FilterDecision,
+    FilterDecisionBatch,
+    FilterSummary,
+    SimilarityFilter,
+)
 from repro.core.hierarchy import ClusterHierarchy, LRDLevel
-from repro.core.incremental import InGrassSparsifier, IterationRecord, MixedUpdateResult
-from repro.core.lrd import lrd_decompose
-from repro.core.setup import SetupResult, run_setup
+from repro.core.incremental import (
+    InGrassSparsifier,
+    IterationRecord,
+    MixedUpdateResult,
+    ReweightResult,
+)
+from repro.core.lrd import cluster_diameter_bound, decompose_node_subset, lrd_decompose
+from repro.core.maintenance import HierarchyMaintainer, MaintenanceStats, SpliceReport
+from repro.core.setup import SetupResult, run_local_setup, run_setup
 from repro.core.update import (
     KappaGuardReport,
     RemovalResult,
@@ -44,9 +56,17 @@ __all__ = [
     "SimilarityFilter",
     "FilterAction",
     "FilterDecision",
+    "FilterDecisionBatch",
     "FilterSummary",
+    "HierarchyMaintainer",
+    "MaintenanceStats",
+    "SpliceReport",
+    "ReweightResult",
+    "cluster_diameter_bound",
+    "decompose_node_subset",
     "SetupResult",
     "run_setup",
+    "run_local_setup",
     "UpdateResult",
     "run_update",
     "RemovalResult",

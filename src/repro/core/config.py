@@ -120,7 +120,30 @@ class InGrassConfig:
         When set, the incremental driver re-runs the setup phase (fresh LRD
         hierarchy + embedding) once this many sparsifier edges have been
         removed since the last setup — the coarse-grained refresh that keeps
-        long deletion streams accurate.  ``None`` never refreshes.
+        long deletion streams accurate.  ``None`` never refreshes.  Only
+        honoured in ``hierarchy_mode="rebuild"``: the maintenance mode keeps
+        the hierarchy accurate structurally and never pays a full re-setup.
+    hierarchy_mode:
+        How the LRD hierarchy tracks sparsifier mutations.  ``"rebuild"``
+        (default, the PR 1 behaviour) inflates cluster diameters per removal
+        and relies on ``resetup_after_removals`` to periodically rebuild the
+        whole hierarchy; ``"maintain"`` splices clusters in place through
+        :class:`repro.core.maintenance.HierarchyMaintainer` — splitting
+        clusters whose interior lost connectivity, recomputing diameters
+        locally and fusing clusters joined by admitted edges — so long churn
+        streams never pay a full ``O(m log n)`` re-setup and the resistance
+        bounds stay tight between batches.
+    maintenance_exact_limit:
+        Maintenance mode: cluster size up to which splices run a localized
+        re-decomposition with exact fragment diameters; larger clusters use
+        the connectivity split plus the spanning-tree diameter bound.
+    decision_records:
+        Representation of per-edge filter decisions on the vectorised batch
+        path: ``"objects"`` (default) builds one :class:`FilterDecision` per
+        edge, ``"arrays"`` returns a single SoA
+        :class:`~repro.core.filtering.FilterDecisionBatch`, which removes the
+        dominant allocator/GC cost at 10⁵-edge batches.  The scalar reference
+        path always uses objects.
     batch_mode:
         How streamed batches are scored and filtered: ``"vectorized"`` uses
         the numpy batch engine (one-shot distortion kernels, group-resolved
@@ -150,6 +173,9 @@ class InGrassConfig:
     kappa_guard_batch: int = 8
     kappa_guard_dense_limit: int = 1500
     resetup_after_removals: Optional[int] = None
+    hierarchy_mode: str = "rebuild"
+    maintenance_exact_limit: int = 64
+    decision_records: str = "objects"
     batch_mode: str = "auto"
     batch_mode_threshold: int = 32
     seed: SeedLike = 0
@@ -185,6 +211,15 @@ class InGrassConfig:
         check_positive_int(self.kappa_guard_dense_limit, "kappa_guard_dense_limit")
         if self.resetup_after_removals is not None:
             check_positive_int(self.resetup_after_removals, "resetup_after_removals")
+        if self.hierarchy_mode not in ("rebuild", "maintain"):
+            raise ValueError(f"unknown hierarchy_mode {self.hierarchy_mode!r}; "
+                             "expected 'rebuild' or 'maintain'")
+        check_positive_int(self.maintenance_exact_limit, "maintenance_exact_limit")
+        if self.maintenance_exact_limit < 2:
+            raise ValueError("maintenance_exact_limit must be at least 2")
+        if self.decision_records not in ("objects", "arrays"):
+            raise ValueError(f"unknown decision_records {self.decision_records!r}; "
+                             "expected 'objects' or 'arrays'")
         if self.batch_mode not in ("auto", "vectorized", "scalar"):
             raise ValueError(f"unknown batch_mode {self.batch_mode!r}; "
                              "expected 'auto', 'vectorized' or 'scalar'")

@@ -66,7 +66,18 @@ class LRDLevel:
 
 
 class ClusterHierarchy:
-    """Stack of LRD levels plus the node-embedding view used by inGRASS."""
+    """Stack of LRD levels plus the node-embedding view used by inGRASS.
+
+    Beyond the immutable snapshot queries of the paper's setup phase, the
+    hierarchy exposes a small mutation API (:meth:`relabel_nodes`,
+    :meth:`append_cluster`, :meth:`set_cluster_diameter`) so
+    :class:`repro.core.maintenance.HierarchyMaintainer` can splice and merge
+    clusters in place after sparsifier mutations.  Every mutation bumps
+    :attr:`version`; label mutations additionally bump :attr:`labels_version`
+    and the per-level counters of :meth:`level_labels_version`, which is how
+    dependent caches (the similarity filter's cluster-pair map) detect
+    staleness without wholesale invalidation.
+    """
 
     def __init__(self, levels: Sequence[LRDLevel]) -> None:
         if not levels:
@@ -79,10 +90,24 @@ class ClusterHierarchy:
         self._num_nodes = num_nodes
         # (n, L) matrix of cluster indices — the paper's embedding vectors.
         self._embedding = np.column_stack([level.labels for level in self._levels])
+        # Re-point every level's label array at its embedding column so the
+        # matrix is the single source of truth: in-place maintenance writes
+        # one array and every view (level labels, filter label caches, the
+        # gather tables of resistance_upper_bounds_arrays) sees the update.
+        for index, level in enumerate(self._levels):
+            level.labels = self._embedding[:, index]
         # Staleness bookkeeping for the fully dynamic update path: every noted
         # sparsifier-edge removal inflates the affected cluster diameters and
         # bumps this counter so drivers can schedule a full refresh.
         self._noted_removals = 0
+        # Mutation counters: _version covers any change, _labels_version only
+        # structural relabels (per level in _level_labels_versions).
+        self._version = 0
+        self._labels_version = 0
+        self._level_labels_versions = [0] * len(self._levels)
+        # Frozen at the first inflation so rebuild-mode compounding is capped
+        # even when the coarsest level itself inflates.
+        self._inflation_ceiling: Optional[float] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -195,12 +220,73 @@ class ClusterHierarchy:
         return bounds
 
     # ------------------------------------------------------------------ #
+    # Mutation API (used by the maintenance layer)
+    # ------------------------------------------------------------------ #
+    @property
+    def version(self) -> int:
+        """Counter bumped by every in-place mutation (labels or diameters)."""
+        return self._version
+
+    @property
+    def labels_version(self) -> int:
+        """Counter bumped by every structural relabel (splits and merges)."""
+        return self._labels_version
+
+    def level_labels_version(self, level_index: int) -> int:
+        """Relabel counter of one level — what level-bound caches validate against."""
+        return self._level_labels_versions[level_index]
+
+    def set_cluster_diameter(self, level_index: int, cluster: int, diameter: float) -> None:
+        """Overwrite the cached resistance diameter of one cluster."""
+        level = self._levels[level_index]
+        if cluster < 0 or cluster >= level.num_clusters:
+            raise IndexError(f"cluster {cluster} out of range at level {level_index}")
+        level.cluster_diameters[cluster] = max(float(diameter), 1e-12)
+        self._version += 1
+
+    def append_cluster(self, level_index: int, diameter: float) -> int:
+        """Register a fresh (initially empty) cluster at ``level_index``.
+
+        Returns the new cluster index; callers move nodes into it with
+        :meth:`relabel_nodes`.  Cluster ids are never compacted — a cluster
+        emptied by a merge simply keeps a zero size, which every consumer
+        (``bincount`` sizes, masked diameter gathers) handles naturally.
+        """
+        level = self._levels[level_index]
+        level.cluster_diameters = np.append(level.cluster_diameters, max(float(diameter), 1e-12))
+        self._version += 1
+        return level.num_clusters - 1
+
+    def relabel_nodes(self, level_index: int, nodes: np.ndarray, new_cluster: int) -> None:
+        """Move ``nodes`` into ``new_cluster`` at ``level_index`` (in place).
+
+        Writes the embedding column directly, so every label view stays
+        consistent; bumps the label version counters so level-bound caches
+        (e.g. the similarity filter's cluster-pair map) can detect the change.
+        """
+        level = self._levels[level_index]
+        if new_cluster < 0 or new_cluster >= level.num_clusters:
+            raise IndexError(f"cluster {new_cluster} out of range at level {level_index}")
+        self._embedding[np.asarray(nodes, dtype=np.int64), level_index] = new_cluster
+        self._version += 1
+        self._labels_version += 1
+        self._level_labels_versions[level_index] += 1
+
+    # ------------------------------------------------------------------ #
     # Invalidation hooks for the fully dynamic update path
     # ------------------------------------------------------------------ #
     @property
     def noted_removals(self) -> int:
         """Number of sparsifier-edge removals noted since (re)construction."""
         return self._noted_removals
+
+    def record_removal(self) -> None:
+        """Bump the removal counter without touching any diameter.
+
+        Used by the maintenance layer, which replaces diameter inflation with
+        structural splices but keeps the staleness statistic meaningful.
+        """
+        self._noted_removals += 1
 
     def note_edge_removed(self, u: int, v: int, *, inflation_factor: float = 1.25) -> int:
         """Record that sparsifier edge ``(u, v)`` was deleted.
@@ -212,20 +298,35 @@ class ClusterHierarchy:
         without recomputing resistances; the staleness counter lets drivers
         trigger a full setup refresh once enough removals accumulate.
 
+        Inflated diameters are clamped at the :meth:`fallback_resistance`
+        value of the *first* removal since (re)construction — the bound used
+        when two nodes share no cluster at all — so long deletion streams
+        cannot compound a cluster diameter past the point where it carries
+        any information (the ceiling is frozen, otherwise inflating the
+        coarsest level would move it and the compounding would never stop).
+        A diameter already above the ceiling is left unchanged rather than
+        reduced (the bound stays conservative).
+
         Returns the number of levels whose diameters were inflated.
         """
         if inflation_factor < 1.0:
             raise ValueError("inflation_factor must be >= 1")
         self._noted_removals += 1
+        if self._inflation_ceiling is None:
+            self._inflation_ceiling = self.fallback_resistance()
+        ceiling = self._inflation_ceiling
         touched = 0
         equal = self._embedding[u] == self._embedding[v]
         for level_index in np.flatnonzero(equal):
             level = self._levels[int(level_index)]
             cluster = int(self._embedding[u, int(level_index)])
             if level.cluster_diameters.size > cluster:
-                level.cluster_diameters[cluster] = max(
-                    level.cluster_diameters[cluster] * inflation_factor, 1e-12
-                )
+                current = float(level.cluster_diameters[cluster])
+                inflated = max(current * inflation_factor, 1e-12)
+                if inflated > ceiling:
+                    inflated = max(current, ceiling)
+                level.cluster_diameters[cluster] = inflated
+                self._version += 1
                 touched += 1
         return touched
 
@@ -238,6 +339,7 @@ class ClusterHierarchy:
     def reset_staleness(self) -> None:
         """Clear the removal counter (after an external refresh/rebuild)."""
         self._noted_removals = 0
+        self._inflation_ceiling = None
 
     # ------------------------------------------------------------------ #
     # Filtering-level selection (Section III-C-2)

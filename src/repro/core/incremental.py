@@ -35,6 +35,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import InGrassConfig
 from repro.core.filtering import SimilarityFilter
+from repro.core.maintenance import HierarchyMaintainer, MaintenanceStats
 from repro.core.setup import SetupResult, run_setup
 from repro.core.update import (
     KappaGuardReport,
@@ -55,6 +56,7 @@ from repro.graphs.validation import (
 from repro.sparsify.metrics import SparsifierReport, evaluate_sparsifier, offtree_density
 from repro.spectral.condition import relative_condition_number
 from repro.streams.edge_stream import MixedBatch
+from repro.utils.timing import Timer
 
 Edge = Tuple[int, int]
 WeightedEdge = Tuple[int, int, float]
@@ -77,23 +79,45 @@ class IterationRecord:
     offtree_density: float
     removed_edges: int = 0
     repair_edges: int = 0
+    reweighted_edges: int = 0
+
+
+@dataclass
+class ReweightResult:
+    """Outcome of one weight-change batch (pure conductance increases)."""
+
+    #: ``(u, v, delta)`` events applied to the tracked graph.
+    applied: List[WeightedEdge]
+    #: Events whose edge the sparsifier carries directly (weight bumped there).
+    direct: int = 0
+    #: Events folded onto the surviving cluster-pair support (the edge itself
+    #: was absorbed by an earlier merge/redistribute decision).
+    reassigned: int = 0
+    #: Events that had no surviving support and were admitted as new
+    #: sparsifier edges carrying just the delta.
+    admitted: int = 0
+    reweight_seconds: float = 0.0
 
 
 @dataclass
 class MixedUpdateResult:
-    """Outcome of one mixed insert/delete batch (either part may be ``None``)."""
+    """Outcome of one mixed insert/delete batch (any part may be ``None``)."""
 
     removal: Optional[RemovalResult]
     insertion: Optional[UpdateResult]
     #: κ-guard pass run after the whole batch (when the guard is configured).
     kappa_guard: Optional[KappaGuardReport] = None
+    #: Weight-change phase (when the batch carried re-weighting events).
+    reweight: Optional[ReweightResult] = None
 
     @property
     def seconds(self) -> float:
-        """Combined wall-clock cost of the removal, insertion and guard phases."""
+        """Combined wall-clock cost of all phases of the batch."""
         total = 0.0
         if self.removal is not None:
             total += self.removal.removal_seconds
+        if self.reweight is not None:
+            total += self.reweight.reweight_seconds
         if self.insertion is not None:
             total += self.insertion.update_seconds
         if self.kappa_guard is not None:
@@ -110,9 +134,12 @@ class InGrassSparsifier:
         self._sparsifier: Optional[Graph] = None
         self._setup: Optional[SetupResult] = None
         self._filter: Optional[SimilarityFilter] = None
+        self._maintainer: Optional[HierarchyMaintainer] = None
         self._target_condition: Optional[float] = self.config.target_condition_number
         self._history: List[IterationRecord] = []
         self._total_update_seconds = 0.0
+        self._full_resetups = 0
+        self._resetup_seconds = 0.0
 
     # ------------------------------------------------------------------ #
     # State access
@@ -168,6 +195,28 @@ class InGrassSparsifier:
         assert self._setup is not None
         return self._setup.hierarchy.noted_removals
 
+    @property
+    def full_resetups(self) -> int:
+        """Number of full setup refreshes performed since :meth:`setup`."""
+        return self._full_resetups
+
+    @property
+    def resetup_seconds(self) -> float:
+        """Accumulated wall-clock cost of full setup refreshes."""
+        return self._resetup_seconds
+
+    @property
+    def maintainer(self) -> Optional[HierarchyMaintainer]:
+        """The hierarchy maintainer (``hierarchy_mode="maintain"`` only)."""
+        return self._maintainer
+
+    @property
+    def maintenance_stats(self) -> MaintenanceStats:
+        """Lifetime counters of the maintenance layer (zeros in rebuild mode)."""
+        if self._maintainer is None:
+            return MaintenanceStats()
+        return self._maintainer.stats
+
     def _require_setup(self) -> None:
         if self._setup is None:
             raise RuntimeError("call setup() before using the sparsifier")
@@ -208,8 +257,11 @@ class InGrassSparsifier:
         self._sparsifier = sparsifier.copy()
         self._setup = run_setup(self._sparsifier, self.config)
         self._filter = None
+        self._maintainer = None
         self._history = []
         self._total_update_seconds = 0.0
+        self._full_resetups = 0
+        self._resetup_seconds = 0.0
 
         if target_condition_number is not None:
             self._target_condition = target_condition_number
@@ -234,9 +286,19 @@ class InGrassSparsifier:
             )
         return self._filter
 
+    def _ensure_maintainer(self) -> Optional[HierarchyMaintainer]:
+        """Build (once per setup) the hierarchy maintainer in maintain mode."""
+        if self.config.hierarchy_mode != "maintain":
+            return None
+        assert self._setup is not None and self._sparsifier is not None
+        if self._maintainer is None or self._maintainer.hierarchy is not self._setup.hierarchy:
+            self._maintainer = self._setup.make_maintainer(self._sparsifier, self.config)
+        return self._maintainer
+
     def _record_iteration(self, *, streamed: int, removed: int, repairs: int,
                           insertion: Optional[UpdateResult],
-                          removal: Optional[RemovalResult], seconds: float) -> None:
+                          removal: Optional[RemovalResult], seconds: float,
+                          reweighted: int = 0) -> None:
         assert self._sparsifier is not None
         summary = insertion.summary if insertion is not None else None
         if insertion is not None:
@@ -259,6 +321,7 @@ class InGrassSparsifier:
                 offtree_density=offtree_density(self._sparsifier),
                 removed_edges=removed,
                 repair_edges=repairs,
+                reweighted_edges=reweighted,
             )
         )
 
@@ -271,6 +334,7 @@ class InGrassSparsifier:
             sparsifier, self._setup, new_edges, self.config,
             target_condition_number=self._target_condition,
             similarity_filter=self._ensure_filter(),
+            maintainer=self._ensure_maintainer(),
         )
 
     def _apply_removals(self, deletions: Sequence[Edge]) -> RemovalResult:
@@ -291,10 +355,63 @@ class InGrassSparsifier:
             graph=graph, config=self.config,
             target_condition_number=self._target_condition,
             similarity_filter=self._ensure_filter(),
+            maintainer=self._ensure_maintainer(),
         )
+        # The periodic full re-setup is a rebuild-mode fallback: the
+        # maintenance mode keeps the hierarchy structurally accurate, so it
+        # never pays the O(m log n) refresh.
         threshold = self.config.resetup_after_removals
-        if threshold is not None and self._setup.hierarchy.needs_refresh(threshold):
+        if (self.config.hierarchy_mode == "rebuild" and threshold is not None
+                and self._setup.hierarchy.needs_refresh(threshold)):
             self.refresh_setup()
+        return result
+
+    def _apply_weight_changes(self, changes: Sequence[WeightedEdge]) -> ReweightResult:
+        """Weight-change phase: bump conductances in place, no repair needed.
+
+        Added conductance can only lower effective resistances, so every
+        cached resistance upper bound (hierarchy diameters, filter map) stays
+        valid without invalidation — this is what makes the direct path
+        strictly cheaper than the delete+insert round trip it replaces.
+        """
+        graph, sparsifier = self._graph, self._sparsifier
+        assert graph is not None and sparsifier is not None
+        timer = Timer().start()
+        applied = [(int(u), int(v), float(delta)) for u, v, delta in changes]
+        for u, v, delta in applied:
+            if not graph.has_edge(u, v):
+                raise GraphValidationError(
+                    f"weight change ({u}, {v}) targets an edge the tracked graph "
+                    "does not carry"
+                )
+            if delta <= 0:
+                raise GraphValidationError(
+                    f"weight change ({u}, {v}) must have a positive delta, got {delta}"
+                )
+        result = ReweightResult(applied=applied)
+        if applied:
+            graph.increase_weights([(u, v) for u, v, _ in applied],
+                                   [delta for _, _, delta in applied])
+            similarity_filter = self._ensure_filter()
+            maintainer = self._ensure_maintainer()
+            admitted: List[WeightedEdge] = []
+            for u, v, delta in applied:
+                if sparsifier.has_edge(u, v):
+                    sparsifier.increase_weight(u, v, delta)
+                    result.direct += 1
+                elif similarity_filter.reassign_weight(u, v, delta):
+                    # The physical edge was absorbed by an earlier merge or
+                    # redistribution; its reinforcement follows the same route.
+                    result.reassigned += 1
+                else:
+                    sparsifier.add_edge(u, v, delta, merge="add")
+                    similarity_filter.notify_edge_added(u, v)
+                    admitted.append((u, v, delta))
+                    result.admitted += 1
+            if maintainer is not None and admitted:
+                maintainer.note_insertions(admitted, similarity_filter=similarity_filter)
+        timer.stop()
+        result.reweight_seconds = timer.elapsed
         return result
 
     def _run_guard(self) -> Optional[KappaGuardReport]:
@@ -311,6 +428,7 @@ class InGrassSparsifier:
             self._sparsifier, self._setup, graph=self._graph, config=self.config,
             target_condition_number=self._target_condition,
             similarity_filter=self._ensure_filter(),
+            maintainer=self._ensure_maintainer(),
         )
 
     def update(self, batch: UpdateBatch) -> Union[UpdateResult, MixedUpdateResult]:
@@ -364,13 +482,36 @@ class InGrassSparsifier:
                                seconds=seconds)
         return result
 
+    def reweight(self, changes: Iterable[WeightedEdge]) -> ReweightResult:
+        """Apply one batch of pure weight increases (``(u, v, delta)`` triples).
+
+        The direct :class:`~repro.streams.edge_stream.WeightChangeEvent` path:
+        the tracked graph's conductances are bumped through
+        :meth:`repro.graphs.graph.Graph.increase_weights`, and the sparsifier
+        follows — directly when it carries the edge, through the similarity
+        filter's weight re-homing when an earlier decision absorbed it — with
+        no repair, no hierarchy invalidation and no delete+insert round trip.
+        """
+        self._require_setup()
+        result = self._apply_weight_changes(list(changes))
+        self._total_update_seconds += result.reweight_seconds
+        self._record_iteration(streamed=0, removed=0, repairs=0,
+                               insertion=None, removal=None,
+                               seconds=result.reweight_seconds,
+                               reweighted=len(result.applied))
+        return result
+
     def apply_batch(self, batch: MixedBatch) -> MixedUpdateResult:
-        """Apply one mixed insert/delete batch (deletions first), as one iteration."""
+        """Apply one mixed batch (deletions, then weight changes, then
+        insertions) as one iteration."""
         self._require_setup()
         removal = self._apply_removals(batch.deletions) if batch.deletions else None
+        reweight = (self._apply_weight_changes(batch.weight_changes)
+                    if batch.weight_changes else None)
         insertion = self._apply_insertions(list(batch.insertions)) if batch.insertions else None
         guard = self._run_guard() if batch else None
-        result = MixedUpdateResult(removal=removal, insertion=insertion, kappa_guard=guard)
+        result = MixedUpdateResult(removal=removal, insertion=insertion, kappa_guard=guard,
+                                   reweight=reweight)
         self._total_update_seconds += result.seconds
         repairs = removal.num_repairs if removal else 0
         if guard is not None:
@@ -380,6 +521,7 @@ class InGrassSparsifier:
             removed=len(removal.requested) if removal else 0,
             repairs=repairs,
             insertion=insertion, removal=removal, seconds=result.seconds,
+            reweighted=len(batch.weight_changes),
         )
         return result
 
@@ -392,13 +534,19 @@ class InGrassSparsifier:
 
         Rebuilds the LRD hierarchy, the resistance embedding and the
         similarity filter from ``H(k)`` as it stands — the coarse-grained
-        refresh that restores estimate accuracy after many deletions.  The
+        refresh that restores estimate accuracy after many deletions in
+        rebuild mode (the maintenance mode keeps the hierarchy accurate in
+        place and only reaches here when a caller forces it).  The
         accumulated history and the tracked graph are preserved.
         """
         self._require_setup()
         assert self._sparsifier is not None
-        self._setup = run_setup(self._sparsifier, self.config)
+        with Timer() as timer:
+            self._setup = run_setup(self._sparsifier, self.config)
         self._filter = None
+        self._maintainer = None
+        self._full_resetups += 1
+        self._resetup_seconds += timer.elapsed
         return self._setup
 
     # ------------------------------------------------------------------ #

@@ -115,6 +115,266 @@ def _initial_threshold(graph: Graph, config: LRDConfig) -> float:
     return float(np.median(1.0 / weights))
 
 
+# --------------------------------------------------------------------------- #
+# Localized re-decomposition (maintenance support)
+# --------------------------------------------------------------------------- #
+def induced_subgraph(graph: Graph, nodes: np.ndarray) -> Tuple[Graph, np.ndarray]:
+    """Return the subgraph induced by ``nodes`` plus the original-id mapping.
+
+    The subgraph relabels ``nodes`` to ``0 .. k-1`` (in input order); the
+    returned array maps local ids back to the original ones.  Only edges with
+    *both* endpoints inside ``nodes`` are kept, so by Rayleigh monotonicity
+    every effective resistance measured on the subgraph upper-bounds the
+    resistance between the same nodes in the full graph.
+
+    The adjacency structures are filled directly (the inputs come from a
+    validated :class:`Graph`, re-validating every edge would dominate the
+    maintenance layer's splice cost).
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    local = {int(node): index for index, node in enumerate(nodes.tolist())}
+    sub = Graph(nodes.shape[0])
+    edge_map = sub._edges
+    adjacency = sub._adjacency
+    source_adjacency = graph._adjacency
+    for node, index in local.items():
+        for neighbor, weight in source_adjacency[node].items():
+            other = local.get(int(neighbor))
+            if other is not None and index < other:
+                edge_map[(index, other)] = weight
+                adjacency[index][other] = weight
+                adjacency[other][index] = weight
+    sub._invalidate_views()
+    return sub, nodes
+
+
+def _tree_diameter_bound(subgraph: Graph) -> float:
+    """Resistance-diameter upper bound via a minimum-resistance spanning tree.
+
+    For any spanning tree ``T`` of the (connected) subgraph, the effective
+    resistance between two nodes is at most the series resistance of their
+    tree path, so the longest tree path under ``1/w`` edge lengths bounds the
+    resistance diameter.  The tree minimising total resistance keeps the
+    bound reasonably tight; MST and the classic double-sweep diameter both
+    run in scipy's C layer, which is what makes this the cheap path for
+    clusters too large for exact all-pairs resistances.
+    """
+    from scipy.sparse.csgraph import dijkstra, minimum_spanning_tree
+
+    if subgraph.num_edges == 0:
+        return 0.0
+    lengths = subgraph.adjacency_matrix()
+    lengths.data = 1.0 / lengths.data
+    tree = minimum_spanning_tree(lengths)
+    # Double sweep: the farthest node from an arbitrary root, then the
+    # farthest node from *that* one — their distance is the tree diameter.
+    first = dijkstra(tree, directed=False, indices=0)
+    turn = int(np.argmax(np.where(np.isfinite(first), first, -1.0)))
+    second = dijkstra(tree, directed=False, indices=turn)
+    return float(np.max(second[np.isfinite(second)]))
+
+
+def _exact_diameter(subgraph: Graph) -> float:
+    """Exact resistance diameter of a (small, connected) subgraph.
+
+    One dense pseudo-inverse of the Laplacian gives all pairwise resistances
+    at once (``R[p, q] = L⁺[p, p] + L⁺[q, q] - 2 L⁺[p, q]``) — for the
+    cluster sizes this is used on, orders of magnitude cheaper than per-pair
+    grounded solves.
+    """
+    n = subgraph.num_nodes
+    if n < 2 or subgraph.num_edges == 0:
+        return 0.0
+    pseudo = np.linalg.pinv(subgraph.laplacian_matrix().toarray())
+    diagonal = np.diag(pseudo)
+    resistances = diagonal[:, None] + diagonal[None, :] - 2.0 * pseudo
+    return float(max(resistances.max(), 0.0))
+
+
+def _subgraph_diameter_bound(subgraph: Graph, exact_limit: int) -> float:
+    """Diameter bound of an already-built, connected subgraph (no re-checks)."""
+    if subgraph.num_nodes <= exact_limit:
+        return _exact_diameter(subgraph)
+    return _tree_diameter_bound(subgraph)
+
+
+def cluster_diameter_bound(graph: Graph, nodes: np.ndarray, *, exact_limit: int = 64) -> float:
+    """Upper bound on the resistance diameter of ``nodes`` within ``graph``.
+
+    Works on the induced subgraph (a restriction, hence conservative for the
+    full graph): exact all-pairs resistances up to ``exact_limit`` nodes, the
+    max-weight spanning-tree path bound beyond.  The bound is only meaningful
+    when the induced subgraph is connected — disconnected inputs raise, since
+    an infinite-resistance "cluster" should have been split by the caller.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    if nodes.shape[0] <= 1:
+        return 0.0
+    subgraph, _ = induced_subgraph(graph, nodes)
+    components = _local_components(subgraph)
+    if len(components) != 1:
+        raise ValueError(
+            f"cluster of {nodes.shape[0]} nodes is not internally connected "
+            f"({len(components)} components); split it before bounding its diameter"
+        )
+    return _subgraph_diameter_bound(subgraph, exact_limit)
+
+
+def fragment_diameters(subgraph: Graph, local_fragments: List[np.ndarray],
+                       exact_limit: int) -> List[float]:
+    """Diameter bound for each (connected) fragment of an induced subgraph.
+
+    ``local_fragments`` hold local node ids of ``subgraph``; a fragment that
+    covers the whole subgraph is bounded without re-extraction, others get
+    their own induced sub-subgraph.  Shared by the contraction-based and the
+    connectivity-based splitting paths so the single-fragment special case
+    lives in exactly one place.
+    """
+    diameters: List[float] = []
+    for fragment in local_fragments:
+        if fragment.shape[0] <= 1:
+            diameters.append(0.0)
+        elif len(local_fragments) == 1:
+            diameters.append(_subgraph_diameter_bound(subgraph, exact_limit))
+        else:
+            fragment_subgraph, _ = induced_subgraph(subgraph, fragment)
+            diameters.append(_subgraph_diameter_bound(fragment_subgraph, exact_limit))
+    return diameters
+
+
+def _local_components(subgraph: Graph) -> List[np.ndarray]:
+    """Connected components of a small graph as local-id arrays (largest first)."""
+    n = subgraph.num_nodes
+    seen = np.zeros(n, dtype=bool)
+    components: List[np.ndarray] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        stack = [start]
+        seen[start] = True
+        members = [start]
+        while stack:
+            node = stack.pop()
+            for neighbor in subgraph.neighbors(node):
+                if not seen[neighbor]:
+                    seen[neighbor] = True
+                    stack.append(int(neighbor))
+                    members.append(int(neighbor))
+        components.append(np.array(sorted(members), dtype=np.int64))
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def decompose_node_subset(sparsifier: Graph, nodes: np.ndarray, threshold: float,
+                          config: Optional[LRDConfig] = None, *,
+                          atoms: Optional[np.ndarray] = None,
+                          atom_diameters: Optional[np.ndarray] = None,
+                          exact_limit: int = 64) -> Tuple[List[np.ndarray], List[float]]:
+    """Re-run the bounded-diameter contraction (S2) on one node subset.
+
+    This is the localized counterpart of one :func:`lrd_decompose` level: the
+    induced subgraph of ``nodes`` is contracted greedily (cheapest estimated
+    resistance first) subject to ``threshold``, and the resulting fragments
+    are returned with *freshly computed* diameter bounds — the primitive the
+    maintenance layer uses to splice a cluster whose interior lost edges.
+
+    Parameters
+    ----------
+    sparsifier:
+        The current sparsifier the subset lives in.
+    nodes:
+        Original node ids of the cluster being re-decomposed.
+    threshold:
+        Resistance-diameter budget of the cluster's level.
+    config:
+        LRD parameters (resistance estimation method); defaults to
+        :class:`LRDConfig()`.
+    atoms:
+        Optional array (aligned with ``nodes``) grouping nodes into atomic
+        units that must never be separated — the finer-level cluster labels.
+        Honouring them preserves the hierarchy's nesting invariant.
+    atom_diameters:
+        Diameter carried by each atom label (mapping ``atom label -> bound``
+        is positional over ``np.unique(atoms)``); zero when omitted.
+    exact_limit:
+        Cluster size up to which fragment diameters use exact all-pairs
+        resistances (beyond it, the spanning-tree path bound).
+
+    Returns
+    -------
+    (fragments, diameters):
+        Original-node-id arrays (largest fragment first) and a valid
+        resistance-diameter upper bound for each.
+    """
+    config = config if config is not None else LRDConfig()
+    nodes = np.asarray(nodes, dtype=np.int64)
+    if nodes.shape[0] == 0:
+        return [], []
+    if nodes.shape[0] == 1:
+        return [nodes], [0.0]
+    subgraph, mapping = induced_subgraph(sparsifier, nodes)
+
+    if atoms is None:
+        atom_labels = np.arange(nodes.shape[0], dtype=np.int64)
+        base_diameters = np.zeros(nodes.shape[0])
+    else:
+        atom_values, atom_labels = np.unique(np.asarray(atoms), return_inverse=True)
+        if atom_diameters is None:
+            base_diameters = np.zeros(atom_values.shape[0])
+        else:
+            base_diameters = np.asarray(atom_diameters, dtype=float)
+            if base_diameters.shape[0] != atom_values.shape[0]:
+                raise ValueError("atom_diameters must align with the unique atom labels")
+
+    # Quotient of the induced subgraph by the atoms (S3 of the fresh
+    # decomposition), so contraction happens between atomic units.
+    num_atoms = int(atom_labels.max()) + 1
+    quotient = Graph(num_atoms)
+    for u, v, w in subgraph.weighted_edges():
+        au, av = int(atom_labels[u]), int(atom_labels[v])
+        if au != av:
+            quotient.add_edge(au, av, w, merge="add")
+
+    # The quotient is disconnected exactly when the cluster interior was torn
+    # apart — the solver-backed estimators need connectivity, so fall back to
+    # the per-edge series bound (1/w >= true resistance, hence conservative
+    # for the threshold test) whenever the subset is no longer whole.
+    uf_probe = UnionFind(num_atoms)
+    for u, v in quotient.edges():
+        uf_probe.union(u, v)
+    if uf_probe.num_sets == 1:
+        if num_atoms <= 2 * exact_limit:
+            # Small connected quotient: one dense pseudo-inverse gives exact
+            # edge resistances — cheaper and tighter than the sampled
+            # estimators at this size.
+            pseudo = np.linalg.pinv(quotient.laplacian_matrix().toarray())
+            qu, qv, quotient_weights = quotient.edge_arrays()
+            diagonal = np.diag(pseudo)
+            edge_resistances = np.maximum(diagonal[qu] + diagonal[qv] - 2.0 * pseudo[qu, qv], 0.0)
+            edge_resistances = np.minimum(edge_resistances, 1.0 / quotient_weights)
+        else:
+            edge_resistances = _estimate_edge_resistances(quotient, config, 0)
+    elif quotient.num_edges:
+        _, _, quotient_weights = quotient.edge_arrays()
+        edge_resistances = 1.0 / quotient_weights
+    else:
+        edge_resistances = np.zeros(0)
+    state = _ContractionState(
+        graph=quotient,
+        node_labels=np.arange(num_atoms, dtype=np.int64),
+        diameters=base_diameters,
+    )
+    group_labels, _, _ = _contract_level(state, edge_resistances, threshold)
+
+    node_groups = group_labels[atom_labels]
+    num_groups = int(group_labels.max()) + 1 if group_labels.size else 0
+    local_fragments = [np.flatnonzero(node_groups == group) for group in range(num_groups)]
+    fragments = [np.sort(mapping[members]) for members in local_fragments]
+    diameters = fragment_diameters(subgraph, local_fragments, exact_limit)
+    order = sorted(range(len(fragments)), key=lambda index: len(fragments[index]), reverse=True)
+    return [fragments[index] for index in order], [diameters[index] for index in order]
+
+
 def lrd_decompose(sparsifier: Graph, config: Optional[LRDConfig] = None) -> ClusterHierarchy:
     """Run the multilevel LRD decomposition of ``sparsifier``.
 

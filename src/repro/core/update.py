@@ -28,7 +28,7 @@ configured guard bound.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import InGrassConfig
 from repro.core.distortion import (
@@ -38,7 +38,14 @@ from repro.core.distortion import (
     score_edges,
     sort_by_distortion,
 )
-from repro.core.filtering import FilterAction, FilterDecision, FilterSummary, SimilarityFilter
+from repro.core.filtering import (
+    FilterAction,
+    FilterDecision,
+    FilterDecisionBatch,
+    FilterSummary,
+    SimilarityFilter,
+)
+from repro.core.maintenance import HierarchyMaintainer
 from repro.core.setup import SetupResult
 from repro.graphs.graph import Graph, canonical_edge
 from repro.graphs.unionfind import UnionFind
@@ -57,7 +64,11 @@ WeightedEdge = Tuple[int, int, float]
 class UpdateResult:
     """Outcome of one incremental update call."""
 
-    decisions: List[FilterDecision]
+    #: Per-edge filter decisions: a list of :class:`FilterDecision` objects,
+    #: or one SoA :class:`FilterDecisionBatch` when the batch ran with
+    #: ``config.decision_records="arrays"`` (iterating either yields the same
+    #: :class:`FilterDecision` values).
+    decisions: Union[List[FilterDecision], FilterDecisionBatch]
     summary: FilterSummary
     filtering_level: int
     update_seconds: float
@@ -66,10 +77,15 @@ class UpdateResult:
     #: (mirrors :attr:`RemovalResult.kappa_guard` so insertion-only batches
     #: carry the same quality bookkeeping as mixed ones).
     kappa_guard: Optional["KappaGuardReport"] = None
+    #: Clusters fused by the hierarchy maintainer after this batch
+    #: (``hierarchy_mode="maintain"`` only).
+    hierarchy_merges: int = 0
 
     @property
     def added_edges(self) -> List[WeightedEdge]:
         """Edges that were actually inserted into the sparsifier."""
+        if isinstance(self.decisions, FilterDecisionBatch):
+            return self.decisions.added_edges()
         return [d.edge for d in self.decisions if d.action is FilterAction.ADDED]
 
 
@@ -91,6 +107,10 @@ def _ensure_filter(sparsifier: Graph, setup: SetupResult, level: int, config: In
                    similarity_filter: Optional[SimilarityFilter]) -> SimilarityFilter:
     """Reuse the caller's filter when it matches the level, else build a fresh one."""
     if similarity_filter is not None and similarity_filter.filtering_level == level:
+        # An out-of-band relabel of the filtering level (a maintainer the
+        # caller drove without handing over the filter) shows up as a label
+        # version mismatch; resync rebuilds the cluster-pair map exactly once.
+        similarity_filter.resync()
         return similarity_filter
     return SimilarityFilter(
         sparsifier, setup.hierarchy, level,
@@ -98,10 +118,26 @@ def _ensure_filter(sparsifier: Graph, setup: SetupResult, level: int, config: In
     )
 
 
+def _ensure_maintainer(sparsifier: Graph, setup: SetupResult, config: InGrassConfig,
+                       maintainer: Optional[HierarchyMaintainer]) -> Optional[HierarchyMaintainer]:
+    """Resolve the hierarchy maintainer for ``config.hierarchy_mode``.
+
+    Returns ``None`` in rebuild mode; in maintain mode the caller's
+    maintainer is reused when it is bound to this setup's hierarchy,
+    otherwise a fresh one is built.
+    """
+    if config.hierarchy_mode != "maintain":
+        return None
+    if maintainer is not None and maintainer.hierarchy is setup.hierarchy:
+        return maintainer
+    return setup.make_maintainer(sparsifier, config)
+
+
 def run_update(sparsifier: Graph, setup: SetupResult, new_edges: Sequence[WeightedEdge],
                config: Optional[InGrassConfig] = None, *,
                target_condition_number: Optional[float] = None,
-               similarity_filter: Optional[SimilarityFilter] = None) -> UpdateResult:
+               similarity_filter: Optional[SimilarityFilter] = None,
+               maintainer: Optional[HierarchyMaintainer] = None) -> UpdateResult:
     """Apply one batch of streamed edges to ``sparsifier`` (mutated in place).
 
     Parameters
@@ -122,6 +158,10 @@ def run_update(sparsifier: Graph, setup: SetupResult, new_edges: Sequence[Weight
     similarity_filter:
         Reuse an existing filter (keeps its cluster-connectivity state across
         batches); by default a fresh filter is built from the sparsifier.
+    maintainer:
+        Hierarchy maintainer driving in-place cluster merges after the batch
+        (``config.hierarchy_mode="maintain"``); built on demand when omitted
+        in that mode, ignored in rebuild mode.
     """
     config = config if config is not None else InGrassConfig()
     timer = Timer().start()
@@ -130,6 +170,7 @@ def run_update(sparsifier: Graph, setup: SetupResult, new_edges: Sequence[Weight
 
     level = _select_filtering_level(setup, config, target_condition_number)
     similarity_filter = _ensure_filter(sparsifier, setup, level, config, similarity_filter)
+    maintainer = _ensure_maintainer(sparsifier, setup, config, maintainer)
 
     max_additions = None
     if config.max_fill_fraction < 1.0:
@@ -140,16 +181,23 @@ def run_update(sparsifier: Graph, setup: SetupResult, new_edges: Sequence[Weight
         # numpy arrays, then resolve the similarity filter per cluster group.
         batch = score_edge_arrays(setup.embedding, us, vs, ws)
         batch, dropped_batch = batch.split_by_threshold(config.distortion_threshold)
-        decisions, summary = similarity_filter.apply_batch(batch.sort(), max_additions=max_additions)
+        record_arrays = config.decision_records == "arrays"
+        decisions, summary = similarity_filter.apply_batch(batch.sort(), max_additions=max_additions,
+                                                           record_arrays=record_arrays)
         num_dropped = len(dropped_batch)
         summary.dropped += num_dropped
-        dropped_distortions = dropped_batch.distortions.tolist()
-        for index in range(num_dropped):
-            decisions.append(
-                FilterDecision(edge=dropped_batch.edge(index),
-                               action=FilterAction.DROPPED_LOW_DISTORTION,
-                               distortion=dropped_distortions[index])
+        if record_arrays:
+            decisions = decisions.extended_with_dropped(
+                dropped_batch.us, dropped_batch.vs, dropped_batch.ws, dropped_batch.distortions,
             )
+        else:
+            dropped_distortions = dropped_batch.distortions.tolist()
+            for index in range(num_dropped):
+                decisions.append(
+                    FilterDecision(edge=dropped_batch.edge(index),
+                                   action=FilterAction.DROPPED_LOW_DISTORTION,
+                                   distortion=dropped_distortions[index])
+                )
     else:
         cleaned = list(zip(us.tolist(), vs.tolist(), ws.tolist()))
         estimates = estimate_distortions(setup.embedding, cleaned)
@@ -163,6 +211,11 @@ def run_update(sparsifier: Graph, setup: SetupResult, new_edges: Sequence[Weight
                 FilterDecision(edge=item.edge, action=FilterAction.DROPPED_LOW_DISTORTION,
                                distortion=item.distortion)
             )
+    hierarchy_merges = 0
+    if maintainer is not None and summary.added:
+        added = (decisions.added_edges() if isinstance(decisions, FilterDecisionBatch)
+                 else [d.edge for d in decisions if d.action is FilterAction.ADDED])
+        hierarchy_merges = maintainer.note_insertions(added, similarity_filter=similarity_filter)
     timer.stop()
     return UpdateResult(
         decisions=decisions,
@@ -170,6 +223,7 @@ def run_update(sparsifier: Graph, setup: SetupResult, new_edges: Sequence[Weight
         filtering_level=level,
         update_seconds=timer.elapsed,
         dropped_low_distortion=num_dropped,
+        hierarchy_merges=hierarchy_merges,
     )
 
 
@@ -198,12 +252,20 @@ class RemovalResult:
     reassigned_weight: float = 0.0
     #: Excess weight for which no surviving support existed (dropped).
     discarded_weight: float = 0.0
-    #: Hierarchy levels whose cached cluster diameters were inflated.
+    #: Hierarchy levels whose cached cluster diameters were inflated
+    #: (rebuild mode only; the maintenance mode recomputes instead).
     inflated_levels: int = 0
     filtering_level: int = 0
     removal_seconds: float = 0.0
     #: Report of the κ-guard pass, when the driver ran one after this batch.
     kappa_guard: Optional["KappaGuardReport"] = None
+    #: Clusters whose interior the hierarchy maintainer re-examined
+    #: (``hierarchy_mode="maintain"`` only).
+    spliced_clusters: int = 0
+    #: New cluster fragments the maintainer created by splitting.
+    split_fragments: int = 0
+    #: Clusters the maintainer fused around repair/reconnection edges.
+    hierarchy_merges: int = 0
 
     @property
     def repaired_edges(self) -> List[WeightedEdge]:
@@ -308,7 +370,8 @@ def _reconnect_sparsifier(sparsifier: Graph, graph: Graph, setup: SetupResult,
 def run_removal(sparsifier: Graph, setup: SetupResult, removals: Sequence, *,
                 graph: Graph, config: Optional[InGrassConfig] = None,
                 target_condition_number: Optional[float] = None,
-                similarity_filter: Optional[SimilarityFilter] = None) -> RemovalResult:
+                similarity_filter: Optional[SimilarityFilter] = None,
+                maintainer: Optional[HierarchyMaintainer] = None) -> RemovalResult:
     """Apply one batch of edge deletions to ``sparsifier`` (mutated in place).
 
     Parameters
@@ -339,6 +402,12 @@ def run_removal(sparsifier: Graph, setup: SetupResult, removals: Sequence, *,
     similarity_filter:
         Reuse an existing filter (its connectivity map is invalidated /
         updated in place); by default a fresh filter is built.
+    maintainer:
+        Hierarchy maintainer (``config.hierarchy_mode="maintain"``): instead
+        of inflating cluster diameters, the affected clusters are spliced in
+        place after the reconnection step — split along their surviving
+        interior connectivity with locally recomputed diameters.  Built on
+        demand when omitted in maintain mode, ignored in rebuild mode.
 
     Notes
     -----
@@ -367,11 +436,15 @@ def run_removal(sparsifier: Graph, setup: SetupResult, removals: Sequence, *,
 
     level = _select_filtering_level(setup, config, target_condition_number)
     similarity_filter = _ensure_filter(sparsifier, setup, level, config, similarity_filter)
+    maintainer = _ensure_maintainer(sparsifier, setup, config, maintainer)
 
     # Step 1: drop the edges the sparsifier carries, invalidating caches.
     # Weight a removed edge absorbed on behalf of *other* (still existing)
     # graph edges through earlier merge decisions is re-homed onto surviving
-    # support of the same cluster pair rather than silently discarded.
+    # support of the same cluster pair rather than silently discarded.  In
+    # rebuild mode the affected cluster diameters are inflated here; in
+    # maintain mode the clusters are spliced structurally after step 2, once
+    # the sparsifier is reconnected.
     removed_from_sparsifier: List[WeightedEdge] = []
     inflated_levels = 0
     reassigned = 0.0
@@ -381,9 +454,10 @@ def run_removal(sparsifier: Graph, setup: SetupResult, removals: Sequence, *,
             continue
         weight = sparsifier.remove_edge(u, v)
         similarity_filter.notify_edge_removed(u, v)
-        inflated_levels += setup.hierarchy.note_edge_removed(
-            u, v, inflation_factor=config.removal_diameter_inflation
-        )
+        if maintainer is None:
+            inflated_levels += setup.hierarchy.note_edge_removed(
+                u, v, inflation_factor=config.removal_diameter_inflation
+            )
         removed_from_sparsifier.append((u, v, weight))
         physical = graph_weights.get((u, v))
         if physical is not None and weight > physical:
@@ -411,6 +485,20 @@ def run_removal(sparsifier: Graph, setup: SetupResult, removals: Sequence, *,
     result.reconnection_edges = _reconnect_sparsifier(sparsifier, graph, setup,
                                                       similarity_filter, config)
 
+    # Step 2b (maintain mode): splice the clusters the removals touched, now
+    # that the sparsifier is whole again — interior connectivity is judged
+    # against the repaired structure, so the coarsest (all-nodes) cluster
+    # never splits and the fallback bound stays meaningful.  Reconnection
+    # edges may additionally let the maintainer fuse clusters back together.
+    if maintainer is not None:
+        splice = maintainer.note_removals(removed_from_sparsifier,
+                                          similarity_filter=similarity_filter)
+        result.spliced_clusters = len(splice.spliced)
+        result.split_fragments = splice.splits
+        if result.reconnection_edges:
+            result.hierarchy_merges += maintainer.note_insertions(
+                result.reconnection_edges, similarity_filter=similarity_filter)
+
     # Step 3: local quality repair around the removed edges — the best
     # off-sparsifier graph edges incident to the endpoints, ranked by the LRD
     # distortion estimate.  Only spectrally *unique* candidates (no existing
@@ -434,6 +522,9 @@ def run_removal(sparsifier: Graph, setup: SetupResult, removals: Sequence, *,
                 sparsifier.add_edge(p, q, weight, merge="add")
                 similarity_filter.notify_edge_added(p, q)
                 result.repair_edges.append((p, q, weight))
+        if maintainer is not None and result.repair_edges:
+            result.hierarchy_merges += maintainer.note_insertions(
+                result.repair_edges, similarity_filter=similarity_filter)
 
     timer.stop()
     result.removal_seconds = timer.elapsed
@@ -443,7 +534,8 @@ def run_removal(sparsifier: Graph, setup: SetupResult, removals: Sequence, *,
 def run_kappa_guard(sparsifier: Graph, setup: SetupResult, *, graph: Graph,
                     config: Optional[InGrassConfig] = None,
                     target_condition_number: Optional[float] = None,
-                    similarity_filter: Optional[SimilarityFilter] = None) -> KappaGuardReport:
+                    similarity_filter: Optional[SimilarityFilter] = None,
+                    maintainer: Optional[HierarchyMaintainer] = None) -> KappaGuardReport:
     """Escalating quality guard for the deletion path.
 
     Measures κ(G, H) and, while it exceeds ``kappa_guard_factor * target``,
@@ -474,6 +566,7 @@ def run_kappa_guard(sparsifier: Graph, setup: SetupResult, *, graph: Graph,
     timer = Timer().start()
     level = _select_filtering_level(setup, config, target)
     similarity_filter = _ensure_filter(sparsifier, setup, level, config, similarity_filter)
+    maintainer = _ensure_maintainer(sparsifier, setup, config, maintainer)
 
     bound = config.kappa_guard_factor * target
     kappa = relative_condition_number(graph, sparsifier,
@@ -494,12 +587,16 @@ def run_kappa_guard(sparsifier: Graph, setup: SetupResult, *, graph: Graph,
         budget = min(config.kappa_guard_batch * (2 ** report.rounds), len(pool))
         order = np.argsort(scores)[::-1][:budget]
         admitted = 0
+        round_edges: List[WeightedEdge] = []
         for index in order:
             u, v, w = pool[int(index)]
             sparsifier.add_edge(u, v, w, merge="add")
             similarity_filter.notify_edge_added(u, v)
             report.added_edges.append((u, v, w))
+            round_edges.append((u, v, w))
             admitted += 1
+        if maintainer is not None and round_edges:
+            maintainer.note_insertions(round_edges, similarity_filter=similarity_filter)
         if admitted == 0:
             break
         report.rounds += 1

@@ -4,11 +4,13 @@ from repro.streams.edge_stream import (
     DeletionEvent,
     InsertionEvent,
     MixedBatch,
+    WeightChangeEvent,
     locality_biased_edges,
     mixed_edges,
     random_pair_edges,
     removable_edges,
     split_into_batches,
+    weight_change_edges,
 )
 from repro.streams.scenarios import (
     DynamicScenario,
@@ -29,7 +31,9 @@ __all__ = [
     "split_into_batches",
     "InsertionEvent",
     "DeletionEvent",
+    "WeightChangeEvent",
     "MixedBatch",
+    "weight_change_edges",
     "IncrementalScenario",
     "ScenarioConfig",
     "build_scenario",

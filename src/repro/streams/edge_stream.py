@@ -72,17 +72,46 @@ class DeletionEvent:
         return canonical_edge(self.u, self.v)
 
 
-StreamEvent = Union[InsertionEvent, DeletionEvent]
+@dataclass(frozen=True)
+class WeightChangeEvent:
+    """One streamed edge re-weighting: edge ``(u, v)`` gains ``delta`` conductance.
+
+    Models a physical reinforcement of an existing wire (a thicker strap, a
+    parallel conductor on the same route).  Streaming it as its own event —
+    instead of the delete-then-insert round trip — lets the driver call
+    :meth:`repro.graphs.graph.Graph.increase_weights` directly: no sparsifier
+    repair, no hierarchy invalidation, because added conductance can only
+    *lower* effective resistances, so every cached resistance upper bound
+    stays valid untouched.
+
+    ``delta`` must be positive; weight reductions are deletions followed by a
+    lighter insertion (they can raise resistances and therefore need the full
+    repair machinery).
+    """
+
+    u: int
+    v: int
+    delta: float
+
+    @property
+    def edge(self) -> WeightedEdge:
+        """The event as a canonical ``(u, v, delta)`` triple."""
+        key = canonical_edge(self.u, self.v)
+        return (key[0], key[1], self.delta)
+
+
+StreamEvent = Union[InsertionEvent, DeletionEvent, WeightChangeEvent]
 
 
 @dataclass
 class MixedBatch:
     """One batch of a fully dynamic update stream.
 
-    Semantics: within a batch, **deletions apply before insertions** — the
-    scenario builders guarantee the graph stays connected under that order and
-    the :class:`~repro.core.incremental.InGrassSparsifier` driver applies
-    batches the same way.
+    Semantics: within a batch, **deletions apply first, then weight changes,
+    then insertions** — the scenario builders guarantee the graph stays
+    connected under that order and the
+    :class:`~repro.core.incremental.InGrassSparsifier` driver applies batches
+    the same way.
 
     Attributes
     ----------
@@ -90,15 +119,18 @@ class MixedBatch:
         Newly added ``(u, v, weight)`` edges.
     deletions:
         Removed ``(u, v)`` pairs (canonical orientation).
+    weight_changes:
+        ``(u, v, delta)`` conductance increases on surviving edges.
     """
 
     insertions: List[WeightedEdge] = field(default_factory=list)
     deletions: List[Edge] = field(default_factory=list)
+    weight_changes: List[WeightedEdge] = field(default_factory=list)
 
     @property
     def num_events(self) -> int:
-        """Total number of events (insertions + deletions) in the batch."""
-        return len(self.insertions) + len(self.deletions)
+        """Total number of events in the batch (all three kinds)."""
+        return len(self.insertions) + len(self.deletions) + len(self.weight_changes)
 
     @property
     def deletion_fraction(self) -> float:
@@ -111,6 +143,8 @@ class MixedBatch:
         """Iterate the events in application order (deletions first)."""
         for u, v in self.deletions:
             yield DeletionEvent(u, v)
+        for u, v, delta in self.weight_changes:
+            yield WeightChangeEvent(u, v, delta)
         for u, v, w in self.insertions:
             yield InsertionEvent(u, v, w)
 
@@ -129,10 +163,14 @@ class MixedBatch:
         strap, wire a replacement) is represented faithfully — but an
         *insertion followed by a deletion* of the same edge would be silently
         reordered, so such lists are rejected; split them across two batches
-        instead.
+        instead.  The same applies to weight changes: re-weighting an edge
+        deleted or inserted earlier in the list cannot survive the batch's
+        fixed application order and is rejected.
         """
         batch = cls()
         inserted: Set[Edge] = set()
+        deleted: Set[Edge] = set()
+        reweighted: Set[Edge] = set()
         for event in events:
             if isinstance(event, DeletionEvent):
                 if event.edge in inserted:
@@ -141,7 +179,25 @@ class MixedBatch:
                         "list; a MixedBatch applies deletions before insertions and cannot "
                         "preserve that interleaving — split the events across two batches"
                     )
+                if event.edge in reweighted:
+                    raise ValueError(
+                        f"edge {event.edge} is re-weighted and then deleted within one "
+                        "event list; a MixedBatch applies deletions before weight changes "
+                        "and cannot preserve that interleaving — split the events across "
+                        "two batches"
+                    )
                 batch.deletions.append(event.edge)
+                deleted.add(event.edge)
+            elif isinstance(event, WeightChangeEvent):
+                key = canonical_edge(event.u, event.v)
+                if key in deleted or key in inserted:
+                    raise ValueError(
+                        f"edge {key} is deleted/inserted and then re-weighted within one "
+                        "event list; a MixedBatch applies weight changes between deletions "
+                        "and insertions — split the events across two batches"
+                    )
+                batch.weight_changes.append(event.edge)
+                reweighted.add(key)
             elif isinstance(event, InsertionEvent):
                 key = canonical_edge(event.u, event.v)
                 batch.insertions.append(event.edge)
@@ -393,6 +449,31 @@ def removable_edges(graph: Graph, count: int, *, seed: SeedLike = None,
             removed.append(edge)
         # else: the edge became a bridge after earlier removals; drop it.
     return removed
+
+
+def weight_change_edges(graph: Graph, count: int, *, scale_range: Tuple[float, float] = (0.1, 1.0),
+                        seed: SeedLike = None) -> List[WeightedEdge]:
+    """Sample ``count`` re-weighting events ``(u, v, delta)`` on existing edges.
+
+    Each sampled edge gains ``delta = weight * U(scale_range)`` conductance —
+    the "reinforce an existing wire" workload that
+    :class:`WeightChangeEvent` models.  Edges are drawn without replacement;
+    fewer events are returned when the graph has fewer edges than ``count``.
+    """
+    count = check_positive_int(count, "count") if count else 0
+    low, high = scale_range
+    if not 0.0 < low <= high:
+        raise ValueError(f"scale_range must satisfy 0 < low <= high, got {scale_range}")
+    if count == 0 or graph.num_edges == 0:
+        return []
+    rng = as_rng(seed)
+    edges = list(graph.weighted_edges())
+    chosen = rng.choice(len(edges), size=min(count, len(edges)), replace=False)
+    factors = rng.uniform(low, high, size=chosen.shape[0])
+    return [
+        (edges[int(index)][0], edges[int(index)][1], float(edges[int(index)][2] * factor))
+        for index, factor in zip(chosen, factors)
+    ]
 
 
 def split_into_batches(edges: Sequence[WeightedEdge], num_batches: int) -> List[List[WeightedEdge]]:
