@@ -21,6 +21,8 @@ from repro.core import (
     InGrassSparsifier,
     LRDConfig,
     ResistanceEmbedding,
+    ShardedSparsifier,
+    ShardPlan,
     lrd_decompose,
     run_removal,
     run_setup,
@@ -51,6 +53,8 @@ __all__ = [
     "InGrassConfig",
     "InGrassSparsifier",
     "LRDConfig",
+    "ShardPlan",
+    "ShardedSparsifier",
     "ResistanceEmbedding",
     "lrd_decompose",
     "run_setup",

@@ -28,6 +28,7 @@ def print_churn(records: Sequence[ChurnRecord]) -> str:
             {
                 "Test case": f"{record.case} ({record.paper_case})",
                 "Mode": record.hierarchy_mode,
+                "Shards": record.num_shards,
                 "Events": f"{record.insertions}+/{record.deletions}-",
                 "Del %": percent(record.deletion_fraction),
                 "H-removals": record.sparsifier_removals,
@@ -63,6 +64,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--resetup-after", type=int, default=None,
                         help="rebuild mode: full re-setup after this many sparsifier "
                              "edge removals (default: never)")
+    parser.add_argument("--num-shards", default="1",
+                        help="shard counts of the update engine — one integer, or a "
+                             "comma-separated list for one comparison row per count "
+                             "(e.g. 1,2,4); results are identical by the oracle "
+                             "guarantee, only timing differs")
+    parser.add_argument("--shard-mode", default="auto", choices=["auto", "serial", "threads"],
+                        help="execution of per-shard sub-batches when sharding")
     parser.add_argument("--iterations", type=int, default=None,
                         help="override the number of streamed batches")
     parser.add_argument("--seed", type=int, default=0)
@@ -79,14 +87,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         config.num_iterations = args.iterations
     modes = (["rebuild", "maintain"] if args.hierarchy_mode == "both"
              else [args.hierarchy_mode])
+    try:
+        shard_counts = [int(part) for part in args.num_shards.split(",") if part]
+    except ValueError:
+        parser.error(f"--num-shards expects integers, got {args.num_shards!r}")
+    if any(count < 1 for count in shard_counts):
+        parser.error(f"--num-shards expects positive integers, got {args.num_shards!r}")
+    if not shard_counts:
+        shard_counts = [1]
     records = []
     for mode in modes:
-        records.extend(
-            run_churn(cases, config, deletion_fraction=args.deletion_fraction,
-                      kappa_guard_factor=None if args.no_guard else 1.8,
-                      hierarchy_mode=mode,
-                      resetup_after_removals=args.resetup_after)
-        )
+        for num_shards in shard_counts:
+            records.extend(
+                run_churn(cases, config, deletion_fraction=args.deletion_fraction,
+                          kappa_guard_factor=None if args.no_guard else 1.8,
+                          hierarchy_mode=mode,
+                          resetup_after_removals=args.resetup_after,
+                          num_shards=num_shards, shard_mode=args.shard_mode)
+            )
     print("Churn — fully dynamic sparsification under mixed insert/delete streams "
           f"({percent(args.deletion_fraction)} deletions, per-iteration kappa tracking)")
     print(print_churn(records))

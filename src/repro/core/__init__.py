@@ -27,6 +27,15 @@ from repro.core.incremental import (
 from repro.core.lrd import cluster_diameter_bound, decompose_node_subset, lrd_decompose
 from repro.core.maintenance import HierarchyMaintainer, MaintenanceStats, SpliceReport
 from repro.core.setup import SetupResult, run_local_setup, run_setup
+from repro.core.sharding import (
+    CompositeSimilarityFilter,
+    ShardBatchReport,
+    ShardContext,
+    ShardedSparsifier,
+    ShardedUpdateResult,
+    ShardPlan,
+    ShardScopedFilter,
+)
 from repro.core.update import (
     KappaGuardReport,
     RemovalResult,
@@ -67,6 +76,13 @@ __all__ = [
     "SetupResult",
     "run_setup",
     "run_local_setup",
+    "ShardPlan",
+    "ShardContext",
+    "ShardScopedFilter",
+    "CompositeSimilarityFilter",
+    "ShardedSparsifier",
+    "ShardedUpdateResult",
+    "ShardBatchReport",
     "UpdateResult",
     "run_update",
     "RemovalResult",

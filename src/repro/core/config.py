@@ -155,6 +155,25 @@ class InGrassConfig:
     batch_mode_threshold:
         Batch size at which ``batch_mode="auto"`` switches to the vectorized
         engine (below it, numpy dispatch overhead exceeds the win).
+    num_shards:
+        Number of node-set shards of the update engine.  ``1`` (default) is
+        the classic single-context driver; above 1,
+        :meth:`repro.core.incremental.InGrassSparsifier.from_config` builds a
+        :class:`repro.core.sharding.ShardedSparsifier` whose
+        :class:`~repro.core.sharding.ShardPlan` partitions nodes along a
+        coarse LRD level (clusters never straddle shards) and runs per-shard
+        similarity filters; cross-shard edges drain through a global escrow
+        stage.  Any shard count produces the same sparsifier as ``1``.
+    shard_mode:
+        How per-shard sub-batches execute: ``"serial"`` one after another,
+        ``"threads"`` concurrently on a thread pool (the numpy scoring/
+        grouping kernels release the GIL, so shards overlap on multi-core
+        hosts), ``"auto"`` (default) picks threads when more than one shard
+        is populated, the host has more than one CPU and the batch reaches
+        ``shard_batch_threshold`` events.
+    shard_batch_threshold:
+        Batch size at which ``shard_mode="auto"`` starts using threads
+        (below it, pool dispatch overhead exceeds the win).
     seed:
         Seed for stochastic components.
     """
@@ -178,6 +197,9 @@ class InGrassConfig:
     decision_records: str = "objects"
     batch_mode: str = "auto"
     batch_mode_threshold: int = 32
+    num_shards: int = 1
+    shard_mode: str = "auto"
+    shard_batch_threshold: int = 4096
     seed: SeedLike = 0
 
     def use_vectorized(self, batch_size: int) -> bool:
@@ -187,6 +209,20 @@ class InGrassConfig:
         if self.batch_mode == "scalar":
             return False
         return batch_size >= self.batch_mode_threshold
+
+    def use_shard_threads(self, batch_size: int, populated_shards: int,
+                          cpu_count: Optional[int]) -> bool:
+        """Resolve the shard execution mode for one batch.
+
+        Threads only ever pay off with at least two populated shards; in
+        ``"auto"`` mode they additionally require a multi-core host and a
+        batch large enough to amortise the pool dispatch.
+        """
+        if populated_shards <= 1 or self.shard_mode == "serial":
+            return False
+        if self.shard_mode == "threads":
+            return True
+        return bool(cpu_count and cpu_count > 1 and batch_size >= self.shard_batch_threshold)
 
     def __post_init__(self) -> None:
         if self.target_condition_number is not None:
@@ -225,3 +261,9 @@ class InGrassConfig:
                              "expected 'auto', 'vectorized' or 'scalar'")
         if self.batch_mode_threshold < 0:
             raise ValueError("batch_mode_threshold must be non-negative")
+        check_positive_int(self.num_shards, "num_shards")
+        if self.shard_mode not in ("auto", "serial", "threads"):
+            raise ValueError(f"unknown shard_mode {self.shard_mode!r}; "
+                             "expected 'auto', 'serial' or 'threads'")
+        if self.shard_batch_threshold < 0:
+            raise ValueError("shard_batch_threshold must be non-negative")

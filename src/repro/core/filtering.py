@@ -170,6 +170,26 @@ class FilterDecisionBatch:
         indices = np.flatnonzero(mask)
         return [(int(self.us[i]), int(self.vs[i]), float(self.ws[i])) for i in indices]
 
+    @classmethod
+    def concat(cls, batches: Sequence["FilterDecisionBatch"]) -> "FilterDecisionBatch":
+        """Concatenate several record batches (the sharded engine's merge step)."""
+        batches = [batch for batch in batches if len(batch)]
+        if not batches:
+            return cls.empty(0)
+        if len(batches) == 1:
+            return batches[0]
+        return cls(
+            us=np.concatenate([b.us for b in batches]),
+            vs=np.concatenate([b.vs for b in batches]),
+            ws=np.concatenate([b.ws for b in batches]),
+            distortions=np.concatenate([b.distortions for b in batches]),
+            actions=np.concatenate([b.actions for b in batches]),
+            target_us=np.concatenate([b.target_us for b in batches]),
+            target_vs=np.concatenate([b.target_vs for b in batches]),
+            pair_los=np.concatenate([b.pair_los for b in batches]),
+            pair_his=np.concatenate([b.pair_his for b in batches]),
+        )
+
     def extended_with_dropped(self, us: np.ndarray, vs: np.ndarray, ws: np.ndarray,
                               distortions: np.ndarray) -> "FilterDecisionBatch":
         """Return a new batch with trailing DROPPED_LOW_DISTORTION records."""
@@ -525,14 +545,191 @@ class SimilarityFilter:
         :class:`FilterDecisionBatch` (SoA arrays, no per-edge objects) —
         identical information, an order of magnitude less allocator/GC
         traffic on 10⁵-edge batches.
+
+        Without an additions cap the batch is resolved *per cluster-pair
+        group* rather than per edge: unique cluster pairs are far fewer than
+        streamed edges on paper-scale streams (10⁵ edges typically collapse
+        onto ~10⁴ pairs), so the remaining Python loop runs once per group
+        while the per-edge work — labels, grouping, decision records,
+        aggregated merge weights — stays in numpy.  With ``max_additions``
+        the decision of each edge depends on how many additions preceded it,
+        so the streamed per-edge loop is kept for that case.
         """
+        m = len(batch)
+        if m == 0:
+            if record_arrays:
+                return FilterDecisionBatch.empty(0), FilterSummary()
+            return [], FilterSummary()
+        if max_additions is None:
+            return self._apply_batch_grouped(batch, record_arrays)
+        return self._apply_batch_streamed(batch, max_additions, record_arrays)
+
+    def _apply_batch_grouped(self, batch: DistortionBatch, record_arrays: bool,
+                             ) -> Tuple[Union[List[FilterDecision], FilterDecisionBatch], FilterSummary]:
+        """Group-resolved :meth:`apply_batch` for the uncapped case.
+
+        Produces decisions, sparsifier edge set *and weights* identical to
+        the streamed loop: ADDED edges are inserted in stream order (so the
+        sparsifier's edge-dict order — and therefore any later connectivity
+        rebuild — matches), aggregated merge weights accumulate per target in
+        stream order, and intra-cluster operations keep the streamed loop's
+        dirty-cluster replay.
+        """
+        m = len(batch)
+        summary = FilterSummary()
+        sparsifier = self._sparsifier
+        labels = np.asarray(self._labels)
+        us, vs, ws = batch.us, batch.vs, batch.ws
+        cu = labels[us]
+        cv = labels[vs]
+        lo = np.minimum(cu, cv).astype(np.int64, copy=False)
+        hi = np.maximum(cu, cv).astype(np.int64, copy=False)
+        inter_idx = np.flatnonzero(lo != hi)
+        intra_idx = np.flatnonzero(lo == hi)
+
+        actions = np.empty(m, dtype=np.int8)
+        target_us = np.full(m, -1, dtype=np.int64)
+        target_vs = np.full(m, -1, dtype=np.int64)
+
+        # ---- inter-cluster edges: one resolution per unique cluster pair.
+        merge_pairs: List[Tuple[int, int]] = []
+        merge_deltas = np.zeros(0)
+        if inter_idx.size:
+            keys = (lo[inter_idx] << np.int64(32)) | hi[inter_idx]
+            _, first_pos, inverse = np.unique(keys, return_index=True, return_inverse=True)
+            num_groups = first_pos.shape[0]
+            first_global = inter_idx[first_pos]
+            group_tu = np.empty(num_groups, dtype=np.int64)
+            group_tv = np.empty(num_groups, dtype=np.int64)
+            group_added = np.zeros(num_groups, dtype=bool)
+            lo_first = lo[first_global].tolist()
+            hi_first = hi[first_global].tolist()
+            us_first = us[first_global].tolist()
+            vs_first = vs[first_global].tolist()
+            ws_first = ws[first_global].tolist()
+            connectivity = self._connectivity
+            add_unchecked = sparsifier.add_edge_unchecked
+            # Visit groups in stream order of their first edge: the streamed
+            # loop inserts ADDED edges in exactly that order.
+            for g in np.argsort(first_pos, kind="stable").tolist():
+                pair = (lo_first[g], hi_first[g])
+                bucket = connectivity.get(pair)
+                if bucket:
+                    tu, tv = next(iter(bucket))
+                else:
+                    p, q = us_first[g], vs_first[g]
+                    tu, tv = (p, q) if p <= q else (q, p)
+                    add_unchecked(p, q, ws_first[g])
+                    if bucket is None:
+                        connectivity[pair] = {(tu, tv): None}
+                    else:
+                        bucket[(tu, tv)] = None
+                    group_added[g] = True
+                group_tu[g] = tu
+                group_tv[g] = tv
+            actions[inter_idx] = _ACTION_TO_CODE[FilterAction.MERGED_INTO_EXISTING]
+            target_us[inter_idx] = group_tu[inverse]
+            target_vs[inter_idx] = group_tv[inverse]
+            added_first = first_global[group_added]
+            actions[added_first] = _ACTION_TO_CODE[FilterAction.ADDED]
+            target_us[added_first] = -1
+            target_vs[added_first] = -1
+            # Aggregated merge weights: every inter edge except the ADDED
+            # firsts; bincount accumulates in array (= stream) order, so the
+            # per-target float sums equal the streamed loop's.
+            contrib = np.ones(inter_idx.size, dtype=bool)
+            contrib[first_pos[group_added]] = False
+            totals = np.bincount(inverse[contrib], weights=ws[inter_idx[contrib]],
+                                 minlength=num_groups)
+            carriers = np.flatnonzero(totals > 0)
+            merge_pairs = list(zip(group_tu[carriers].tolist(), group_tv[carriers].tolist()))
+            merge_deltas = totals[carriers]
+            summary.added = int(group_added.sum())
+            summary.merged = int(inter_idx.size) - summary.added
+
+        # ---- intra-cluster edges: streamed (they are few, and the dirty-
+        # cluster replay is inherently order-sensitive).
+        intra_ops: List[Tuple[str, int, Optional[Tuple[int, int]], float]] = []
+        spread_clusters: set = set()
+        merge_clusters: set = set()
+        redistribute = self._redistribute
+        if intra_idx.size:
+            sparsifier_edges = sparsifier._edges  # membership probes only
+            merged_code = _ACTION_TO_CODE[FilterAction.MERGED_INTO_EXISTING]
+            redistributed_code = _ACTION_TO_CODE[FilterAction.REDISTRIBUTED_INTRA_CLUSTER]
+            for e, p, q, weight, cluster in zip(intra_idx.tolist(), us[intra_idx].tolist(),
+                                                vs[intra_idx].tolist(), ws[intra_idx].tolist(),
+                                                lo[intra_idx].tolist()):
+                key = (p, q) if p <= q else (q, p)
+                if key in sparsifier_edges:
+                    intra_ops.append(("merge", cluster, key, weight))
+                    merge_clusters.add(cluster)
+                    actions[e] = merged_code
+                    target_us[e] = p
+                    target_vs[e] = q
+                    summary.merged += 1
+                else:
+                    if redistribute:
+                        intra_ops.append(("spread", cluster, None, weight))
+                        spread_clusters.add(cluster)
+                    actions[e] = redistributed_code
+                    summary.redistributed += 1
+
+        # ---- aggregated mutations, replicating the streamed loop's order:
+        # dirty-cluster replay first, then one bulk weight increase, then the
+        # per-cluster bulk redistributions.
+        dirty = merge_clusters & spread_clusters
+        merge_totals: Dict[Tuple[int, int], float] = {}
+        spread_totals: Dict[int, float] = {}
+        for kind, cluster, key, weight in intra_ops:
+            if cluster in dirty:
+                if kind == "merge":
+                    sparsifier.increase_weight(key[0], key[1], weight)
+                else:
+                    self._redistribute_weight(cluster, weight)
+            elif kind == "merge":
+                merge_totals[key] = merge_totals.get(key, 0.0) + weight
+            else:
+                spread_totals[cluster] = spread_totals.get(cluster, 0.0) + weight
+        targets = merge_pairs + list(merge_totals.keys())
+        if targets:
+            deltas = np.concatenate([
+                merge_deltas,
+                np.fromiter(merge_totals.values(), dtype=float, count=len(merge_totals)),
+            ])
+            sparsifier.increase_weights(targets, deltas)
+        for cluster, weight in spread_totals.items():
+            self._redistribute_weight_bulk(cluster, weight)
+
+        if record_arrays:
+            records = FilterDecisionBatch(
+                us=us.copy(), vs=vs.copy(), ws=ws.copy(),
+                distortions=batch.distortions.copy(),
+                actions=actions, target_us=target_us, target_vs=target_vs,
+                pair_los=lo, pair_his=hi,
+            )
+            return records, summary
+        decisions: List[FilterDecision] = []
+        us_l, vs_l, ws_l = us.tolist(), vs.tolist(), ws.tolist()
+        lo_l, hi_l = lo.tolist(), hi.tolist()
+        distortions_l = batch.distortions.tolist()
+        actions_l = actions.tolist()
+        tus_l, tvs_l = target_us.tolist(), target_vs.tolist()
+        for i in range(m):
+            target = None if tus_l[i] < 0 else (tus_l[i], tvs_l[i])
+            decisions.append(
+                FilterDecision((us_l[i], vs_l[i], ws_l[i]), _CODE_TO_ACTION[actions_l[i]],
+                               distortions_l[i], target, (lo_l[i], hi_l[i]))
+            )
+        return decisions, summary
+
+    def _apply_batch_streamed(self, batch: DistortionBatch, max_additions: Optional[int],
+                              record_arrays: bool,
+                              ) -> Tuple[Union[List[FilterDecision], FilterDecisionBatch], FilterSummary]:
+        """Per-edge :meth:`apply_batch` loop (the additions-capped path)."""
         m = len(batch)
         decisions: List[FilterDecision] = []
         summary = FilterSummary()
-        if m == 0:
-            if record_arrays:
-                return FilterDecisionBatch.empty(0), summary
-            return decisions, summary
 
         labels = np.asarray(self._labels)
         cu = labels[batch.us]

@@ -96,6 +96,11 @@ class ClusterHierarchy:
         # gather tables of resistance_upper_bounds_arrays) sees the update.
         for index, level in enumerate(self._levels):
             level.labels = self._embedding[:, index]
+        # Lazily built cluster→members index, one table per level; maintained
+        # incrementally by relabel_nodes/append_cluster once built, so splice
+        # and merge operations (and shard routing) read cluster member sets in
+        # O(cluster size) instead of scanning all n labels per touched cluster.
+        self._members: List[Optional[List[Optional[np.ndarray]]]] = [None] * len(self._levels)
         # Staleness bookkeeping for the fully dynamic update path: every noted
         # sparsifier-edge removal inflates the affected cluster diameters and
         # bumps this counter so drivers can schedule a full refresh.
@@ -220,6 +225,48 @@ class ClusterHierarchy:
         return bounds
 
     # ------------------------------------------------------------------ #
+    # Cluster membership index
+    # ------------------------------------------------------------------ #
+    def _members_table(self, level_index: int) -> List[Optional[np.ndarray]]:
+        """Return (building lazily) the cluster→members table of one level.
+
+        The first access pays one grouped ``O(n log n)`` pass; afterwards the
+        table is maintained incrementally by :meth:`relabel_nodes` and
+        :meth:`append_cluster`, which is what removes the full-array label
+        scan from every splice/merge at 10⁵+ nodes.
+        """
+        table = self._members[level_index]
+        if table is None:
+            level = self._levels[level_index]
+            labels = level.labels
+            table = [None] * level.num_clusters
+            if labels.shape[0]:
+                order = np.argsort(labels, kind="stable")
+                sorted_labels = labels[order]
+                boundaries = np.flatnonzero(np.diff(sorted_labels)) + 1
+                for group in np.split(order, boundaries):
+                    # Stable argsort keeps node ids ascending within a group,
+                    # matching np.flatnonzero(labels == cluster) exactly.
+                    table[int(labels[group[0]])] = group.astype(np.int64, copy=False)
+            self._members[level_index] = table
+        return table
+
+    def cluster_members(self, level_index: int, cluster: int) -> np.ndarray:
+        """Nodes of ``cluster`` at ``level_index``, ascending (do not mutate).
+
+        Equivalent to ``np.flatnonzero(level.labels == cluster)`` but served
+        from the incrementally maintained index — ``O(cluster size)`` after
+        the first access instead of an ``O(n)`` scan per call.
+        """
+        table = self._members_table(level_index)
+        if cluster < 0 or cluster >= len(table):
+            raise IndexError(f"cluster {cluster} out of range at level {level_index}")
+        members = table[cluster]
+        if members is None:
+            return np.zeros(0, dtype=np.int64)
+        return members
+
+    # ------------------------------------------------------------------ #
     # Mutation API (used by the maintenance layer)
     # ------------------------------------------------------------------ #
     @property
@@ -254,6 +301,9 @@ class ClusterHierarchy:
         """
         level = self._levels[level_index]
         level.cluster_diameters = np.append(level.cluster_diameters, max(float(diameter), 1e-12))
+        table = self._members[level_index]
+        if table is not None:
+            table.append(None)
         self._version += 1
         return level.num_clusters - 1
 
@@ -267,7 +317,23 @@ class ClusterHierarchy:
         level = self._levels[level_index]
         if new_cluster < 0 or new_cluster >= level.num_clusters:
             raise IndexError(f"cluster {new_cluster} out of range at level {level_index}")
-        self._embedding[np.asarray(nodes, dtype=np.int64), level_index] = new_cluster
+        moved = np.unique(np.asarray(nodes, dtype=np.int64))
+        table = self._members[level_index]
+        if table is not None and moved.size:
+            old_labels = self._embedding[moved, level_index]
+            movers = moved[old_labels != new_cluster]
+            if movers.size:
+                for old in np.unique(old_labels[old_labels != new_cluster]).tolist():
+                    bucket = table[int(old)]
+                    leaving = movers[self._embedding[movers, level_index] == old]
+                    kept = bucket[~np.isin(bucket, leaving, assume_unique=True)]
+                    table[int(old)] = kept if kept.size else None
+                existing = table[new_cluster]
+                if existing is None:
+                    table[new_cluster] = movers
+                else:
+                    table[new_cluster] = np.union1d(existing, movers)
+        self._embedding[moved, level_index] = new_cluster
         self._version += 1
         self._labels_version += 1
         self._level_labels_versions[level_index] += 1

@@ -128,6 +128,22 @@ class MixedUpdateResult:
 class InGrassSparsifier:
     """Incremental spectral sparsifier maintaining ``H(k)`` under edge insertions and deletions."""
 
+    @classmethod
+    def from_config(cls, config: Optional[InGrassConfig] = None) -> "InGrassSparsifier":
+        """Build the driver matching ``config``.
+
+        ``config.num_shards > 1`` selects the shard-aware
+        :class:`~repro.core.sharding.ShardedSparsifier` (same public API and
+        — by its oracle guarantee — the same sparsifier; only the execution
+        strategy changes); otherwise the classic single-context driver.
+        """
+        config = config if config is not None else InGrassConfig()
+        if cls is InGrassSparsifier and config.num_shards > 1:
+            from repro.core.sharding import ShardedSparsifier
+
+            return ShardedSparsifier(config)
+        return cls(config)
+
     def __init__(self, config: Optional[InGrassConfig] = None) -> None:
         self.config = config if config is not None else InGrassConfig()
         self._graph: Optional[Graph] = None

@@ -86,6 +86,16 @@ class MaintenanceStats:
             maintenance_seconds=self.maintenance_seconds,
         )
 
+    def merge(self, other: "MaintenanceStats") -> None:
+        """Fold ``other``'s counters into this record (sharded aggregation)."""
+        self.removals += other.removals
+        self.insertions += other.insertions
+        self.splices += other.splices
+        self.splits += other.splits
+        self.merges += other.merges
+        self.diameter_recomputes += other.diameter_recomputes
+        self.maintenance_seconds += other.maintenance_seconds
+
 
 @dataclass
 class SpliceReport:
@@ -127,6 +137,10 @@ class HierarchyMaintainer:
         self._lrd_config = lrd_config if lrd_config is not None else LRDConfig()
         self._exact_limit = int(exact_limit)
         self.stats = MaintenanceStats()
+        # Nodes of clusters spliced since the last drain — the "split
+        # neighbourhood" the maintenance-aware κ guard searches first (see
+        # :func:`repro.core.update.run_kappa_guard`).
+        self._splice_neighbourhood: Dict[int, None] = {}
 
     # ------------------------------------------------------------------ #
     @property
@@ -209,14 +223,33 @@ class HierarchyMaintainer:
         fragments = [np.sort(mapping[component]) for component in components]
         return fragments, fragment_diameters(subgraph, components, self._exact_limit)
 
+    def drain_splice_neighbourhood(self) -> np.ndarray:
+        """Return (and clear) the nodes of clusters spliced since the last drain.
+
+        The κ guard uses this as its first candidate pool: a removal-induced
+        split marks exactly the region where the sparsifier just lost
+        support, so off-sparsifier edges incident to it are the most likely
+        κ relief — searching them before the global pool keeps the guard
+        surgical (see :func:`repro.core.update.run_kappa_guard`).
+        """
+        if not self._splice_neighbourhood:
+            return np.zeros(0, dtype=np.int64)
+        nodes = np.fromiter(self._splice_neighbourhood.keys(), dtype=np.int64,
+                            count=len(self._splice_neighbourhood))
+        self._splice_neighbourhood.clear()
+        nodes.sort()
+        return nodes
+
     def _splice(self, level_index: int, cluster: int, similarity_filter) -> Tuple[int, int]:
         """Re-examine one cluster's interior; returns ``(splits, recomputed)``."""
         hierarchy = self._hierarchy
         level = hierarchy.level(level_index)
-        nodes = np.flatnonzero(level.labels == cluster)
+        nodes = hierarchy.cluster_members(level_index, cluster)
         if nodes.shape[0] == 0:
             return 0, 0
         self.stats.splices += 1
+        for node in nodes.tolist():
+            self._splice_neighbourhood[node] = None
         if nodes.shape[0] == 1:
             hierarchy.set_cluster_diameter(level_index, cluster, 0.0)
             return 0, 1
@@ -293,9 +326,8 @@ class HierarchyMaintainer:
                merged_diameter: float, similarity_filter) -> None:
         """Fuse two clusters at one level (larger id set absorbs the smaller)."""
         hierarchy = self._hierarchy
-        labels = hierarchy.level(level_index).labels
-        nodes_a = np.flatnonzero(labels == cluster_a)
-        nodes_b = np.flatnonzero(labels == cluster_b)
+        nodes_a = hierarchy.cluster_members(level_index, cluster_a)
+        nodes_b = hierarchy.cluster_members(level_index, cluster_b)
         if nodes_a.shape[0] >= nodes_b.shape[0]:
             target, source_nodes = cluster_a, nodes_b
             source = cluster_b

@@ -32,6 +32,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import InGrassConfig
 from repro.core.distortion import (
+    DistortionBatch,
     estimate_distortions,
     filter_by_threshold,
     score_edge_arrays,
@@ -137,7 +138,9 @@ def run_update(sparsifier: Graph, setup: SetupResult, new_edges: Sequence[Weight
                config: Optional[InGrassConfig] = None, *,
                target_condition_number: Optional[float] = None,
                similarity_filter: Optional[SimilarityFilter] = None,
-               maintainer: Optional[HierarchyMaintainer] = None) -> UpdateResult:
+               maintainer: Optional[HierarchyMaintainer] = None,
+               distortion_median: Optional[float] = None,
+               scored_batch: Optional["DistortionBatch"] = None) -> UpdateResult:
     """Apply one batch of streamed edges to ``sparsifier`` (mutated in place).
 
     Parameters
@@ -162,10 +165,24 @@ def run_update(sparsifier: Graph, setup: SetupResult, new_edges: Sequence[Weight
         Hierarchy maintainer driving in-place cluster merges after the batch
         (``config.hierarchy_mode="maintain"``); built on demand when omitted
         in that mode, ignored in rebuild mode.
+    distortion_median:
+        Precomputed median distortion used as the reference of the relative
+        ``config.distortion_threshold`` cut.  The sharded driver passes the
+        *global* batch median here so per-shard sub-batches drop exactly the
+        edges the unsharded oracle would; ``None`` (default) derives the
+        median from ``new_edges`` itself.
+    scored_batch:
+        Pre-scored, pre-validated batch (``new_edges`` is then ignored).
+        The sharded driver's threshold pipeline scores each shard's slice
+        once in its parallel phase, takes the global median at the barrier
+        and hands the slices here, so no edge is ever scored twice.
     """
     config = config if config is not None else InGrassConfig()
     timer = Timer().start()
-    us, vs, ws = validate_new_edge_arrays(sparsifier, new_edges)
+    if scored_batch is not None:
+        us, vs, ws = scored_batch.us, scored_batch.vs, scored_batch.ws
+    else:
+        us, vs, ws = validate_new_edge_arrays(sparsifier, new_edges)
     batch_size = int(us.shape[0])
 
     level = _select_filtering_level(setup, config, target_condition_number)
@@ -179,8 +196,10 @@ def run_update(sparsifier: Graph, setup: SetupResult, new_edges: Sequence[Weight
     if config.use_vectorized(batch_size):
         # Batched engine: score, threshold and sort the whole stream as
         # numpy arrays, then resolve the similarity filter per cluster group.
-        batch = score_edge_arrays(setup.embedding, us, vs, ws)
-        batch, dropped_batch = batch.split_by_threshold(config.distortion_threshold)
+        batch = (scored_batch if scored_batch is not None
+                 else score_edge_arrays(setup.embedding, us, vs, ws))
+        batch, dropped_batch = batch.split_by_threshold(config.distortion_threshold,
+                                                        median=distortion_median)
         record_arrays = config.decision_records == "arrays"
         decisions, summary = similarity_filter.apply_batch(batch.sort(), max_additions=max_additions,
                                                            record_arrays=record_arrays)
@@ -201,7 +220,8 @@ def run_update(sparsifier: Graph, setup: SetupResult, new_edges: Sequence[Weight
     else:
         cleaned = list(zip(us.tolist(), vs.tolist(), ws.tolist()))
         estimates = estimate_distortions(setup.embedding, cleaned)
-        estimates, dropped = filter_by_threshold(estimates, config.distortion_threshold)
+        estimates, dropped = filter_by_threshold(estimates, config.distortion_threshold,
+                                                 median=distortion_median)
         estimates = sort_by_distortion(estimates)
         decisions, summary = similarity_filter.apply(estimates, max_additions=max_additions)
         num_dropped = len(dropped)
@@ -552,6 +572,14 @@ def run_kappa_guard(sparsifier: Graph, setup: SetupResult, *, graph: Graph,
     that.  This trades one extreme-eigenpair solve per round for a hard
     quality bound — use it when the workload needs the guarantee, skip it to
     stay strictly ``O(log N)`` per event.
+
+    When a ``maintainer`` is active (``hierarchy_mode="maintain"``), the
+    guard is *maintenance-aware*: the splice reports accumulated since the
+    last guard pass mark exactly the clusters whose interior just lost
+    sparsifier support, so the first round restricts its candidate pool to
+    off-sparsifier edges incident to those split neighbourhoods.  Only when
+    the local pool is empty — or a later round shows the local additions did
+    not relieve κ — does the guard widen to the full off-sparsifier pool.
     """
     import numpy as np
 
@@ -572,16 +600,40 @@ def run_kappa_guard(sparsifier: Graph, setup: SetupResult, *, graph: Graph,
     kappa = relative_condition_number(graph, sparsifier,
                                       dense_limit=config.kappa_guard_dense_limit)
     report = KappaGuardReport(bound=bound, kappa_before=kappa, kappa_after=kappa)
+    # Maintenance-aware candidate seeding: the maintainer's splice reports
+    # name the nodes whose clusters were just split, so round 0 searches the
+    # off-sparsifier edges incident to that neighbourhood before paying for
+    # the global pool.  Drained exactly once per guard pass, whether or not
+    # the guard ends up admitting anything.
+    splice_nodes = (maintainer.drain_splice_neighbourhood()
+                    if maintainer is not None else np.zeros(0, dtype=np.int64))
     while report.kappa_after > bound and report.rounds < config.kappa_guard_max_rounds:
-        pool = [(u, v, w) for u, v, w in graph.weighted_edges() if not sparsifier.has_edge(u, v)]
+        local_pool = None
+        if report.rounds == 0 and splice_nodes.size:
+            local_pool = _offtree_candidates(graph, sparsifier, splice_nodes.tolist())
+        pool = local_pool or [(u, v, w) for u, v, w in graph.weighted_edges()
+                              if not sparsifier.has_edge(u, v)]
         if not pool:
             break
         _, mode = dominant_generalized_eigenvector(graph, sparsifier,
                                                    dense_limit=config.kappa_guard_dense_limit)
-        ps = np.fromiter((u for u, _, _ in pool), dtype=np.int64, count=len(pool))
-        qs = np.fromiter((v for _, v, _ in pool), dtype=np.int64, count=len(pool))
-        ws = np.fromiter((w for _, _, w in pool), dtype=float, count=len(pool))
-        scores = ws * (mode[ps] - mode[qs]) ** 2
+
+        def score_pool(candidates):
+            ps = np.fromiter((u for u, _, _ in candidates), dtype=np.int64, count=len(candidates))
+            qs = np.fromiter((v for _, v, _ in candidates), dtype=np.int64, count=len(candidates))
+            ws = np.fromiter((w for _, _, w in candidates), dtype=float, count=len(candidates))
+            return ws * (mode[ps] - mode[qs]) ** 2
+
+        scores = score_pool(pool)
+        if local_pool and float(scores.max()) <= 1e-12:
+            # The split neighbourhood does not touch the violating mode at
+            # all (the κ breach originates elsewhere) — fall straight back
+            # to the global pool rather than burning round 0 on dead edges.
+            pool = [(u, v, w) for u, v, w in graph.weighted_edges()
+                    if not sparsifier.has_edge(u, v)]
+            if not pool:
+                break
+            scores = score_pool(pool)
         # Escalate geometrically: a later round means the previous additions
         # did not relieve the bottleneck, so widen the net.
         budget = min(config.kappa_guard_batch * (2 ** report.rounds), len(pool))

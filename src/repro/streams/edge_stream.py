@@ -154,6 +154,34 @@ class MixedBatch:
     def __bool__(self) -> bool:
         return self.num_events > 0
 
+    def split_by_shard(self, node_shard: "np.ndarray") -> Tuple[List["MixedBatch"], "MixedBatch"]:
+        """Route the batch's events by shard (the sharded engine's view of it).
+
+        ``node_shard`` maps every node to its shard id (a
+        :class:`repro.core.sharding.ShardPlan` provides it).  Events whose
+        endpoints share a shard land in that shard's batch; cross-shard
+        events land in the returned *escrow* batch, preserving relative
+        order within each kind.  Used by the shard benchmark and tests to
+        inspect routing; the driver itself routes validated endpoint arrays
+        with numpy masks.
+        """
+        node_shard = np.asarray(node_shard, dtype=np.int64)
+        num_shards = int(node_shard.max()) + 1 if node_shard.size else 1
+        shards = [MixedBatch() for _ in range(num_shards)]
+        escrow = MixedBatch()
+
+        def target(u: int, v: int) -> "MixedBatch":
+            su = int(node_shard[u])
+            return shards[su] if su == int(node_shard[v]) else escrow
+
+        for u, v in self.deletions:
+            target(u, v).deletions.append((u, v))
+        for u, v, delta in self.weight_changes:
+            target(u, v).weight_changes.append((u, v, delta))
+        for u, v, w in self.insertions:
+            target(u, v).insertions.append((u, v, w))
+        return shards, escrow
+
     @classmethod
     def from_events(cls, events: Sequence[StreamEvent]) -> "MixedBatch":
         """Bundle a flat event list into a batch (order within kind preserved).

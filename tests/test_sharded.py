@@ -1,0 +1,426 @@
+"""Tests of the sharded update engine (``repro.core.sharding``).
+
+The heart of the suite is the shard-count invariance property: for any
+``num_shards`` and ``shard_mode`` the sharded driver must produce the same
+sparsifier — edge set *and* weights — the same filter decisions and the same
+κ history as the unsharded oracle, on mixed insert/delete/reweight churn
+streams in both hierarchy modes.  Around it sit unit tests of the
+:class:`ShardPlan` partition invariants, the cross-shard escrow stage, the
+:class:`MixedBatch` routing helper, the incremental cluster→members index
+and the maintenance-aware κ guard pool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import InGrassConfig, LRDConfig
+from repro.core.filtering import SimilarityFilter
+from repro.core.incremental import InGrassSparsifier
+from repro.core.setup import run_setup
+from repro.core.sharding import ESCROW, ShardedSparsifier, ShardPlan
+from repro.core.update import run_kappa_guard, run_removal
+from repro.graphs.generators import grid_circuit_2d
+from repro.sparsify.grass import GrassConfig, GrassSparsifier
+from repro.streams.edge_stream import MixedBatch
+from repro.streams.scenarios import DynamicScenarioConfig, build_dynamic_scenario
+
+DENSE_LIMIT = 600
+
+
+def make_config(num_shards=1, shard_mode="serial", hierarchy_mode="rebuild", **kwargs):
+    return InGrassConfig(
+        lrd=LRDConfig(seed=0),
+        kappa_guard_dense_limit=DENSE_LIMIT,
+        hierarchy_mode=hierarchy_mode,
+        num_shards=num_shards,
+        shard_mode=shard_mode,
+        shard_batch_threshold=0,
+        seed=0,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def churn_scenario():
+    graph = grid_circuit_2d(13, seed=3)
+    return build_dynamic_scenario(
+        graph,
+        DynamicScenarioConfig(
+            initial_offtree_density=0.10, final_offtree_density=0.40,
+            num_iterations=5, deletion_fraction=0.3,
+            condition_dense_limit=DENSE_LIMIT, seed=0,
+        ),
+    )
+
+
+def run_stream(scenario, config):
+    driver = InGrassSparsifier.from_config(config)
+    driver.setup(scenario.graph, scenario.initial_sparsifier,
+                 target_condition_number=scenario.initial_condition_number)
+    decision_log = []
+    kappa_log = []
+    for batch in scenario.batches:
+        result = driver.update(batch)
+        insertion = getattr(result, "insertion", result)
+        if insertion is not None:
+            for decision in insertion.decisions:
+                decision_log.append((decision.edge[:2], decision.action, decision.target_edge))
+        guard = getattr(result, "kappa_guard", None)
+        if guard is not None:
+            kappa_log.append((round(guard.kappa_before, 9), round(guard.kappa_after, 9),
+                              tuple(sorted((u, v) for u, v, _ in guard.added_edges))))
+    return driver, decision_log, kappa_log
+
+
+def history_fingerprint(driver):
+    return [
+        (r.streamed_edges, r.added_edges, r.merged_edges, r.redistributed_edges,
+         r.dropped_edges, r.removed_edges, r.repair_edges, r.reweighted_edges,
+         r.filtering_level, r.sparsifier_edges)
+        for r in driver.history
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# ShardPlan
+# --------------------------------------------------------------------------- #
+class TestShardPlan:
+    @pytest.fixture(scope="class")
+    def setup_result(self):
+        graph = grid_circuit_2d(13, seed=3)
+        sparsifier = GrassSparsifier(GrassConfig(target_offtree_density=0.15, seed=1)).sparsify(
+            graph, evaluate_condition=False).sparsifier
+        return run_setup(sparsifier, InGrassConfig(lrd=LRDConfig(seed=0)))
+
+    def test_single_shard_covers_everything(self, setup_result):
+        plan = ShardPlan.from_hierarchy(setup_result.hierarchy, 1)
+        assert plan.num_shards == 1
+        assert np.all(plan.node_shard == 0)
+        assert plan.is_consistent(setup_result.hierarchy)
+
+    @pytest.mark.parametrize("num_shards", [2, 3, 4])
+    def test_clusters_never_straddle_shards(self, setup_result, num_shards):
+        hierarchy = setup_result.hierarchy
+        plan = ShardPlan.from_hierarchy(hierarchy, num_shards)
+        assert plan.is_consistent(hierarchy)
+        # The invariant must hold at the partition level AND every finer one
+        # (nesting): a cluster maps to exactly one shard.
+        for level_index in range(plan.partition_level + 1):
+            labels = hierarchy.level(level_index).labels
+            for cluster in np.unique(labels):
+                members = np.flatnonzero(labels == cluster)
+                assert len(set(plan.node_shard[members].tolist())) == 1
+
+    def test_partition_respects_filtering_level(self, setup_result):
+        level = setup_result.hierarchy.filtering_level_for_condition(64.0)
+        plan = ShardPlan.from_hierarchy(setup_result.hierarchy, 4, min_level=level)
+        assert plan.partition_level >= level
+
+    def test_shards_are_populated_and_balanced(self, setup_result):
+        plan = ShardPlan.from_hierarchy(setup_result.hierarchy, 2)
+        sizes = plan.shard_sizes()
+        assert sizes.shape[0] == plan.num_shards
+        assert np.all(sizes > 0)
+        # Greedy packing of the partition level's clusters cannot be worse
+        # than one whole cluster of imbalance.
+        level = setup_result.hierarchy.level(plan.partition_level)
+        biggest_cluster = int(np.bincount(level.labels).max())
+        assert int(sizes.max()) - int(sizes.min()) <= biggest_cluster
+
+    def test_shard_of_pairs_marks_cross_shard(self, setup_result):
+        plan = ShardPlan.from_hierarchy(setup_result.hierarchy, 2)
+        nodes = np.arange(setup_result.hierarchy.num_nodes)
+        shard0 = nodes[plan.node_shard == 0]
+        shard1 = nodes[plan.node_shard == 1]
+        us = np.array([shard0[0], shard0[0], shard1[0]])
+        vs = np.array([shard0[1], shard1[0], shard1[1]])
+        shards = plan.shard_of_pairs(us, vs)
+        assert shards[0] == 0
+        assert shards[1] == ESCROW
+        assert shards[2] == 1
+        assert plan.shard_of_edge(int(shard0[0]), int(shard1[0])) == ESCROW
+
+
+# --------------------------------------------------------------------------- #
+# Scoped filters and the escrow stage
+# --------------------------------------------------------------------------- #
+class TestScopedFiltersAndEscrow:
+    @pytest.fixture()
+    def sharded(self, churn_scenario):
+        driver = ShardedSparsifier(make_config(num_shards=2))
+        driver.setup(churn_scenario.graph, churn_scenario.initial_sparsifier,
+                     target_condition_number=churn_scenario.initial_condition_number)
+        return driver
+
+    def test_views_partition_the_global_map(self, sharded):
+        """Shard + escrow buckets tile the unsharded filter's buckets exactly."""
+        level = sharded.contexts[0].filter.filtering_level
+        reference = SimilarityFilter(sharded.sparsifier, sharded.setup_result.hierarchy, level)
+        merged_connectivity = {}
+        merged_intra = {}
+        for view in [context.filter for context in sharded.contexts] + [sharded.escrow.filter]:
+            for pair, bucket in view._connectivity.items():
+                assert pair not in merged_connectivity, "bucket owned by two views"
+                merged_connectivity[pair] = dict(bucket)
+            for cluster, bucket in view._intra_cluster_edges.items():
+                assert cluster not in merged_intra, "intra bucket owned by two views"
+                merged_intra[cluster] = dict(bucket)
+        assert merged_connectivity == reference._connectivity
+        assert merged_intra == dict(reference._intra_cluster_edges)
+
+    def test_cross_shard_insertion_lands_in_escrow(self, sharded):
+        plan = sharded.plan
+        graph = sharded.graph
+        nodes = np.arange(graph.num_nodes)
+        shard0 = nodes[plan.node_shard == 0]
+        shard1 = nodes[plan.node_shard == 1]
+        edge = None
+        for u in shard0.tolist():
+            for v in shard1.tolist():
+                if not graph.has_edge(u, v):
+                    edge = (u, v, 1.0)
+                    break
+            if edge:
+                break
+        assert edge is not None
+        result = sharded.update([edge])
+        assert result.shard_report is not None
+        assert result.shard_report.escrow_events == 1
+        assert sum(result.shard_report.shard_events) == 0
+        key = (min(edge[0], edge[1]), max(edge[0], edge[1]))
+        if result.summary.added:
+            assert sharded.escrow.filter.owns_edge(*key)
+            owned = [k for bucket in sharded.escrow.filter._connectivity.values() for k in bucket]
+            assert key in owned
+            for context in sharded.contexts:
+                assert not context.filter.owns_edge(*key)
+
+    def test_intra_shard_insertions_avoid_escrow(self, sharded):
+        plan = sharded.plan
+        graph = sharded.graph
+        shard0 = np.flatnonzero(plan.node_shard == 0).tolist()
+        edge = None
+        for u in shard0:
+            for v in shard0:
+                if u < v and not graph.has_edge(u, v):
+                    edge = (u, v, 1.0)
+                    break
+            if edge:
+                break
+        assert edge is not None
+        result = sharded.update([edge])
+        assert result.shard_report is not None
+        assert result.shard_report.escrow_events == 0
+        assert result.shard_report.shard_events[0] == 1
+
+    def test_factory_dispatches_on_num_shards(self):
+        assert isinstance(InGrassSparsifier.from_config(make_config(num_shards=1)),
+                          InGrassSparsifier)
+        sharded = InGrassSparsifier.from_config(make_config(num_shards=3))
+        assert isinstance(sharded, ShardedSparsifier)
+
+
+# --------------------------------------------------------------------------- #
+# MixedBatch shard routing
+# --------------------------------------------------------------------------- #
+class TestMixedBatchRouting:
+    def test_split_by_shard_routes_every_event(self):
+        node_shard = np.array([0, 0, 1, 1])
+        batch = MixedBatch(
+            insertions=[(0, 1, 1.0), (0, 2, 2.0), (2, 3, 3.0)],
+            deletions=[(0, 1), (1, 3)],
+            weight_changes=[(2, 3, 0.5)],
+        )
+        shards, escrow = batch.split_by_shard(node_shard)
+        assert len(shards) == 2
+        assert shards[0].insertions == [(0, 1, 1.0)]
+        assert shards[1].insertions == [(2, 3, 3.0)]
+        assert escrow.insertions == [(0, 2, 2.0)]
+        assert shards[0].deletions == [(0, 1)]
+        assert escrow.deletions == [(1, 3)]
+        assert shards[1].weight_changes == [(2, 3, 0.5)]
+        routed = sum(b.num_events for b in shards) + escrow.num_events
+        assert routed == batch.num_events
+
+
+# --------------------------------------------------------------------------- #
+# Shard-count invariance (the oracle guarantee)
+# --------------------------------------------------------------------------- #
+class TestShardParity:
+    @pytest.fixture(scope="class")
+    def oracles(self, churn_scenario):
+        outcomes = {}
+        for hierarchy_mode in ("rebuild", "maintain"):
+            config = make_config(hierarchy_mode=hierarchy_mode, kappa_guard_factor=1.8)
+            outcomes[hierarchy_mode] = run_stream(churn_scenario, config)
+        return outcomes
+
+    @pytest.mark.parametrize("hierarchy_mode", ["rebuild", "maintain"])
+    @pytest.mark.parametrize("num_shards,shard_mode", [(2, "serial"), (4, "serial"), (2, "threads")])
+    def test_stream_invariance(self, churn_scenario, oracles, hierarchy_mode, num_shards, shard_mode):
+        oracle, oracle_decisions, oracle_kappa = oracles[hierarchy_mode]
+        config = make_config(num_shards=num_shards, shard_mode=shard_mode,
+                             hierarchy_mode=hierarchy_mode, kappa_guard_factor=1.8)
+        driver, decisions, kappa = run_stream(churn_scenario, config)
+        # Bit-exact sparsifier: same edge set, same weights.
+        assert dict(driver.sparsifier._edges) == dict(oracle.sparsifier._edges)
+        # Same per-edge filter decisions (order-free comparison: the sharded
+        # engine reports shard sub-batches back to back).
+        assert sorted(decisions, key=repr) == sorted(oracle_decisions, key=repr)
+        # Same per-iteration history and κ-guard trajectory.
+        assert history_fingerprint(driver) == history_fingerprint(oracle)
+        assert kappa == oracle_kappa
+
+    def test_insertion_only_batches_match(self, churn_scenario):
+        """Plain insertion lists (the paper's protocol) shard identically too."""
+        insertions = [edge for batch in churn_scenario.batches for edge in batch.insertions]
+        oracle = InGrassSparsifier(make_config())
+        sharded = ShardedSparsifier(make_config(num_shards=3))
+        for driver in (oracle, sharded):
+            driver.setup(churn_scenario.graph, churn_scenario.initial_sparsifier,
+                         target_condition_number=churn_scenario.initial_condition_number)
+            driver.update(insertions)
+        assert dict(sharded.sparsifier._edges) == dict(oracle.sparsifier._edges)
+
+    def test_distortion_threshold_uses_global_median(self, churn_scenario):
+        """The relative threshold cut is shard-count invariant (global median)."""
+        insertions = [edge for batch in churn_scenario.batches for edge in batch.insertions]
+        oracle = InGrassSparsifier(make_config(distortion_threshold=0.8))
+        sharded = ShardedSparsifier(make_config(num_shards=3, distortion_threshold=0.8))
+        results = []
+        for driver in (oracle, sharded):
+            driver.setup(churn_scenario.graph, churn_scenario.initial_sparsifier,
+                         target_condition_number=churn_scenario.initial_condition_number)
+            results.append(driver.update(insertions))
+        assert results[0].dropped_low_distortion > 0
+        assert results[1].dropped_low_distortion == results[0].dropped_low_distortion
+        assert dict(sharded.sparsifier._edges) == dict(oracle.sparsifier._edges)
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           num_shards=st.integers(min_value=2, max_value=5))
+    def test_property_churn_invariance(self, seed, num_shards):
+        graph = grid_circuit_2d(9, seed=5)
+        scenario = build_dynamic_scenario(
+            graph,
+            DynamicScenarioConfig(
+                initial_offtree_density=0.12, final_offtree_density=0.45,
+                num_iterations=3, deletion_fraction=0.35,
+                condition_dense_limit=DENSE_LIMIT, seed=seed,
+            ),
+        )
+        oracle_cfg = make_config(hierarchy_mode="maintain")
+        shard_cfg = make_config(num_shards=num_shards, hierarchy_mode="maintain")
+        oracle, oracle_decisions, _ = run_stream(scenario, oracle_cfg)
+        driver, decisions, _ = run_stream(scenario, shard_cfg)
+        assert dict(driver.sparsifier._edges) == dict(oracle.sparsifier._edges)
+        assert sorted(decisions, key=repr) == sorted(oracle_decisions, key=repr)
+        assert history_fingerprint(driver) == history_fingerprint(oracle)
+
+
+# --------------------------------------------------------------------------- #
+# Incremental cluster→members index
+# --------------------------------------------------------------------------- #
+class TestClusterMembersIndex:
+    def test_matches_label_scan_after_churn(self, churn_scenario):
+        """After splices and merges the index equals a fresh label scan."""
+        driver = InGrassSparsifier(make_config(hierarchy_mode="maintain"))
+        driver.setup(churn_scenario.graph, churn_scenario.initial_sparsifier,
+                     target_condition_number=churn_scenario.initial_condition_number)
+        hierarchy = driver.setup_result.hierarchy
+        # Touch the index before the stream so it is maintained (not lazily
+        # rebuilt) through every relabel/append of the maintenance layer.
+        for level_index in range(hierarchy.num_levels):
+            hierarchy.cluster_members(level_index, 0)
+        for batch in churn_scenario.batches:
+            driver.update(batch)
+        assert driver.maintenance_stats.splices + driver.maintenance_stats.merges > 0
+        for level_index in range(hierarchy.num_levels):
+            labels = hierarchy.level(level_index).labels
+            for cluster in range(hierarchy.level(level_index).num_clusters):
+                expected = np.flatnonzero(labels == cluster)
+                got = hierarchy.cluster_members(level_index, cluster)
+                assert np.array_equal(got, expected), (level_index, cluster)
+
+    def test_relabel_and_append_maintain_index(self):
+        graph = grid_circuit_2d(8, seed=7)
+        sparsifier = GrassSparsifier(GrassConfig(target_offtree_density=0.2, seed=1)).sparsify(
+            graph, evaluate_condition=False).sparsifier
+        hierarchy = run_setup(sparsifier, InGrassConfig(lrd=LRDConfig(seed=0))).hierarchy
+        level_index = 0
+        members_before = hierarchy.cluster_members(level_index, 0).copy()
+        if members_before.size < 2:
+            pytest.skip("level 0 cluster 0 too small to split")
+        fresh = hierarchy.append_cluster(level_index, 0.5)
+        moved = members_before[: members_before.size // 2]
+        hierarchy.relabel_nodes(level_index, moved, fresh)
+        labels = hierarchy.level(level_index).labels
+        assert np.array_equal(hierarchy.cluster_members(level_index, fresh),
+                              np.flatnonzero(labels == fresh))
+        assert np.array_equal(hierarchy.cluster_members(level_index, 0),
+                              np.flatnonzero(labels == 0))
+
+
+# --------------------------------------------------------------------------- #
+# Maintenance-aware κ guard
+# --------------------------------------------------------------------------- #
+class TestMaintenanceAwareGuard:
+    def test_drain_splice_neighbourhood(self, churn_scenario):
+        driver = InGrassSparsifier(make_config(hierarchy_mode="maintain"))
+        driver.setup(churn_scenario.graph, churn_scenario.initial_sparsifier,
+                     target_condition_number=churn_scenario.initial_condition_number)
+        maintainer = driver.maintainer or driver._ensure_maintainer()
+        deletions = churn_scenario.batches[0].deletions
+        if not deletions:
+            pytest.skip("scenario batch carries no deletions")
+        driver.remove(deletions)
+        if driver.maintenance_stats.splices == 0:
+            pytest.skip("no cluster was spliced by this deletion batch")
+        nodes = maintainer.drain_splice_neighbourhood()
+        assert nodes.size > 0
+        assert np.array_equal(nodes, np.unique(nodes))
+        # Drained exactly once.
+        assert maintainer.drain_splice_neighbourhood().size == 0
+
+    def test_guard_prefers_split_neighbourhood(self, churn_scenario):
+        """With splice reports pending, round 0 candidates touch them."""
+        config = make_config(hierarchy_mode="maintain", kappa_guard_factor=1.0)
+        driver = InGrassSparsifier(config)
+        driver.setup(churn_scenario.graph, churn_scenario.initial_sparsifier,
+                     target_condition_number=churn_scenario.initial_condition_number)
+        graph, sparsifier = driver.graph, driver.sparsifier
+        maintainer = driver._ensure_maintainer()
+        similarity_filter = driver._ensure_filter()
+        deletions = churn_scenario.batches[0].deletions
+        pairs = [pair for pair in deletions if graph.has_edge(*pair)]
+        removed = graph.remove_edges(pairs)
+        run_removal(sparsifier, driver.setup_result, removed, graph=graph,
+                    config=config, target_condition_number=driver.target_condition_number,
+                    similarity_filter=similarity_filter, maintainer=maintainer)
+        splice_nodes = set(maintainer.drain_splice_neighbourhood().tolist())
+        if not splice_nodes:
+            pytest.skip("no cluster was spliced by this deletion batch")
+        # Re-arm the pool (drain above consumed it) by re-noting the nodes.
+        for node in splice_nodes:
+            maintainer._splice_neighbourhood[node] = None
+        from repro.core.update import _offtree_candidates
+
+        local_pool = {(u, v) for u, v, _ in
+                      _offtree_candidates(graph, sparsifier, sorted(splice_nodes))}
+        report = run_kappa_guard(sparsifier, driver.setup_result, graph=graph,
+                                 config=config,
+                                 target_condition_number=driver.target_condition_number,
+                                 similarity_filter=similarity_filter, maintainer=maintainer)
+        # The pool was drained by the guard pass...
+        assert maintainer.drain_splice_neighbourhood().size == 0
+        # ...and whenever the guard admitted anything in a first round backed
+        # by a non-empty local pool, every first-round edge came from it.
+        if report.rounds >= 1 and report.added_edges and local_pool:
+            first_round = report.added_edges[: config.kappa_guard_batch]
+            for u, v, _ in first_round:
+                key = (u, v) if u <= v else (v, u)
+                assert key in local_pool, "guard ignored the splice-neighbourhood pool"
