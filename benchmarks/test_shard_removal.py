@@ -1,0 +1,87 @@
+"""Benchmark drivers for the sharded removal/churn pipeline.
+
+The CI ``bench-perf`` job gates the full protocol through
+``python -m repro.bench.gate`` (the ``sharded-removal`` gate); these drivers
+keep a fast ``smoke``-marked slice in the benchmark suite so the pipeline's
+oracle parity on a deletion-heavy stream is exercised by ``bench-smoke``
+too, and time the sharded execution for local comparisons.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.datasets import get_dataset
+from repro.core import InGrassConfig, InGrassSparsifier, LRDConfig
+from repro.sparsify.grass import GrassConfig, GrassSparsifier
+from repro.streams.scenarios import simulate_event_stream
+
+EVENTS = 1200
+BATCHES = 3
+DELETION_FRACTION = 0.4
+
+
+@pytest.fixture(scope="module")
+def removal_setup():
+    graph = get_dataset("g2_circuit").build(scale="small", seed=0)
+    grass = GrassSparsifier(GrassConfig(target_offtree_density=0.10,
+                                        tree_method="shortest_path", seed=0))
+    sparsifier = grass.sparsify(graph, evaluate_condition=False).sparsifier
+    stream = simulate_event_stream(graph, EVENTS, BATCHES,
+                                   deletion_fraction=DELETION_FRACTION,
+                                   long_range_fraction=0.10, locality_hops=3,
+                                   protect_spanning_tree=True, seed=7)
+    return graph, sparsifier, stream
+
+
+def _config(num_shards: int, shard_mode: str = "serial") -> InGrassConfig:
+    return InGrassConfig(
+        lrd=LRDConfig(seed=0),
+        batch_mode="vectorized",
+        decision_records="arrays",
+        distortion_threshold=1.0,
+        hierarchy_mode="maintain",
+        num_shards=num_shards,
+        shard_mode=shard_mode,
+        shard_batch_threshold=0,
+        seed=0,
+    )
+
+
+def _run(graph, sparsifier, stream, config):
+    driver = InGrassSparsifier.from_config(config)
+    driver.setup(graph, sparsifier, target_condition_number=128.0)
+    for batch in stream:
+        driver.update(batch)
+    return driver
+
+
+@pytest.mark.smoke
+def test_sharded_removal_matches_oracle(removal_setup):
+    """Bit-exact parity of the full mixed pipeline, 2 shards vs oracle."""
+    graph, sparsifier, stream = removal_setup
+    oracle = _run(graph, sparsifier, stream, _config(1))
+    sharded = _run(graph, sparsifier, stream, _config(2))
+    assert dict(sharded.sparsifier._edges) == dict(oracle.sparsifier._edges)
+    assert sharded.full_resetups == 0 and oracle.full_resetups == 0
+
+
+@pytest.mark.smoke
+def test_sharded_removal_routes_deletions(removal_setup):
+    """Deletion batches report per-shard routing (no silent global fallback)."""
+    graph, sparsifier, stream = removal_setup
+    driver = _run(graph, sparsifier, stream, _config(2))
+    deletions = sum(len(batch.deletions) for batch in stream)
+    assert deletions > 0
+    assert driver.num_shards == 2
+
+
+def test_sharded_removal_threaded_timing(benchmark, removal_setup):
+    """Time the threaded sharded execution of the mixed stream."""
+    graph, sparsifier, stream = removal_setup
+
+    def run():
+        return _run(graph, sparsifier, stream, _config(2, "threads"))
+
+    driver = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert driver.sparsifier.num_edges > 0

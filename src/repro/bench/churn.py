@@ -18,6 +18,7 @@ from repro.bench.datasets import QUICK_CASES, TABLE_CASES
 from repro.bench.harness import HarnessConfig, run_churn
 from repro.bench.records import ChurnRecord
 from repro.bench.tables import format_table, percent
+from repro.utils.logging import configure_logging
 
 
 def print_churn(records: Sequence[ChurnRecord]) -> str:
@@ -95,6 +96,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"--num-shards expects positive integers, got {args.num_shards!r}")
     if not shard_counts:
         shard_counts = [1]
+    # Surface the sharded engine's routing diagnostics (single-shard
+    # fallbacks of the removal pipeline, adaptive replans, degenerate
+    # plans): deletions used to fall back to the global removal path
+    # without any note — now every fallback logs explicitly.
+    configure_logging()
     records = []
     for mode in modes:
         for num_shards in shard_counts:

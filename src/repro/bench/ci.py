@@ -1,0 +1,42 @@
+"""CI-surface helpers shared by the benchmark gates.
+
+The gates run identically on laptops and on GitHub Actions runners; the one
+place the environments differ is how advisory messages should be surfaced.
+On a runner, a plain ``print`` is buried in the step log — a `workflow
+command`_ annotation (``::notice``/``::warning``) instead lands on the run
+summary page where a "criterion deferred on this host" message is actually
+seen.  Locally the same helpers degrade to plain prints.
+
+.. _workflow command:
+   https://docs.github.com/actions/reference/workflow-commands-for-github-actions
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def running_in_github_actions() -> bool:
+    """Whether the current process runs inside a GitHub Actions step."""
+    return os.environ.get("GITHUB_ACTIONS") == "true"
+
+
+def _emit(level: str, message: str, title: str | None = None) -> None:
+    if running_in_github_actions():
+        # Annotation payloads are single-line; workflow commands use %0A as
+        # the newline escape.
+        body = message.replace("%", "%25").replace("\r", "").replace("\n", "%0A")
+        header = f"title={title}" if title else ""
+        print(f"::{level} {header}::{body}")
+    else:
+        print(message)
+
+
+def notice(message: str, *, title: str | None = None) -> None:
+    """Surface an advisory message (GHA notice annotation, or plain print)."""
+    _emit("notice", message, title)
+
+
+def warning(message: str, *, title: str | None = None) -> None:
+    """Surface a warning message (GHA warning annotation, or plain print)."""
+    _emit("warning", message, title)

@@ -47,6 +47,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.bench import ci
 from repro.bench.datasets import get_dataset
 from repro.bench.tables import format_table
 from repro.core.config import InGrassConfig, LRDConfig
@@ -303,13 +304,19 @@ def check_gate(payload: Dict, baseline: Optional[Dict], *, min_speedup: float = 
                 f"on a {cpu_count}-CPU host (required ≥ {min_speedup:.2f}x)"
             )
     else:
-        print(f"shard-scaling criterion deferred: host has {cpu_count} CPU "
-              f"(measured threads speedup {speedup:.2f}x, enforced ≥ {min_speedup:.2f}x "
-              "on multi-core runners)")
+        ci.notice(
+            f"shard-scaling criterion deferred: host has {cpu_count} CPU "
+            f"(measured threads speedup {speedup:.2f}x, enforced ≥ {min_speedup:.2f}x "
+            "on multi-core runners)",
+            title="shard gate",
+        )
     if baseline is not None and int(baseline.get("cpu_count", 1)) < 2:
-        print("threads/serial ratio-regression arm skipped: the committed baseline was "
-              "generated on a single-CPU host — regenerate it on a multi-core machine "
-              "(`python -m repro.bench.shard --write-baseline`) to arm it")
+        ci.notice(
+            "threads/serial ratio-regression arm skipped: the committed baseline was "
+            "generated on a single-CPU host — regenerate it on a multi-core machine "
+            "(`python -m repro.bench.shard --write-baseline`) to arm it",
+            title="shard gate",
+        )
     if baseline is not None and int(baseline.get("cpu_count", 1)) >= 2 and cpu_count >= 2:
         reference_ratio = (float(baseline["threads_per_event_us"])
                            / float(baseline["serial_per_event_us"]))

@@ -1,0 +1,418 @@
+"""CLI + CI gate for the sharded removal/churn pipeline.
+
+Streams one deletion-heavy mixed insert/delete stream (10⁵ events, 30 %
+deletions by default) through the full driver pipeline — per-batch deletion
+phase (per-shard drop stage, global reconnection/splice/repair) followed by
+the insertion engine — under three executions:
+
+* ``oracle`` — the unsharded driver: the reference every sharded run must
+  reproduce bit for bit;
+* ``shards<N>-serial`` — the sharded driver with the per-shard phases
+  executed one after another (measures pure routing/merge overhead of the
+  removal pipeline);
+* ``shards<N>-threads`` — the same shards on the thread pool.
+
+Run with::
+
+    python -m repro.bench.shard_removal [--events 100000] [--batches 8]
+                                        [--deletion-fraction 0.3] [--shards 2]
+
+Gate mode (CI, usually via ``python -m repro.bench.gate``)::
+
+    python -m repro.bench.shard_removal --check BENCH_removal.json \
+        --baseline benchmarks/baselines/removal_baseline.json
+
+The gate always enforces the **oracle guarantee** over the full mixed
+pipeline (identical sparsifier edge set *and* weights, identical per-batch
+history) and bounds the **overhead** of the sharded-serial execution against
+the unsharded driver — sharding the removal phase must be (almost) free when
+it cannot help.  The **scaling** criterion — threads beating the oracle by
+≥ ``--min-speedup`` (default 1.2×) — is evaluated on the stream's *engine
+region* (the scoring/filtering phases whose numpy kernels release the GIL
+and overlap across shards); the per-shard drop stage of the deletion phase
+is dictionary-bound Python that the GIL serialises, so it is measured and
+reported (``drop_seconds``) but excluded from the scaling criterion.  Like
+the insertion shard gate, scaling is enforced on multi-core hosts and
+surfaced as a deferred notice on single-CPU ones, and baseline regressions
+are judged on the threads/oracle *ratio*, which cancels machine speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.bench import ci
+from repro.bench.datasets import get_dataset
+from repro.bench.tables import format_table
+from repro.core.config import InGrassConfig, LRDConfig
+from repro.core.incremental import InGrassSparsifier
+from repro.sparsify.grass import GrassConfig, GrassSparsifier
+from repro.streams.scenarios import simulate_event_stream
+
+#: Committed baseline consumed by the CI ``bench-perf`` job.
+DEFAULT_BASELINE_PATH = Path("benchmarks") / "baselines" / "removal_baseline.json"
+
+#: Target condition number handed to filtering-level selection (the shard
+#: bench's mid-hierarchy regime).
+TARGET_CONDITION = 128.0
+
+#: Stream blend: locality-heavy, keeping the escrow fraction in the regime
+#: sharding targets.
+LONG_RANGE_FRACTION = 0.10
+
+#: Relative distortion cut (the production latency configuration).
+DISTORTION_THRESHOLD = 1.0
+
+
+def _engine_config(seed: int, num_shards: int, shard_mode: str) -> InGrassConfig:
+    """The perf-tuned pipeline configuration shared by every execution."""
+    return InGrassConfig(
+        lrd=LRDConfig(seed=seed),
+        batch_mode="vectorized",
+        decision_records="arrays",
+        distortion_threshold=DISTORTION_THRESHOLD,
+        num_shards=num_shards,
+        shard_mode=shard_mode,
+        shard_batch_threshold=0,
+        seed=seed,
+    )
+
+
+def _history_fingerprint(driver: InGrassSparsifier) -> List[tuple]:
+    """Per-batch record tuple (everything except wall-clock fields)."""
+    return [
+        (r.streamed_edges, r.added_edges, r.merged_edges, r.redistributed_edges,
+         r.dropped_edges, r.removed_edges, r.repair_edges, r.filtering_level,
+         r.sparsifier_edges)
+        for r in driver.history
+    ]
+
+
+def run_removal_bench(*, events: int = 100_000, batches: int = 8, shards: int = 2,
+                      deletion_fraction: float = 0.3, case: str = "g2_circuit",
+                      scale: str = "large", seed: int = 0, repeats: int = 3) -> Dict:
+    """Run the sharded-removal protocol; return the JSON-ready payload."""
+    spec = get_dataset(case)
+    graph = spec.build(scale=scale, seed=seed)
+    grass = GrassSparsifier(GrassConfig(target_offtree_density=0.10,
+                                        tree_method="shortest_path", seed=seed))
+    sparsifier = grass.sparsify(graph, evaluate_condition=False).sparsifier
+    stream = simulate_event_stream(
+        graph, int(events), int(batches), deletion_fraction=deletion_fraction,
+        long_range_fraction=LONG_RANGE_FRACTION, locality_hops=3,
+        protect_spanning_tree=True, seed=seed + events,
+    )
+    num_deletions = sum(len(batch.deletions) for batch in stream)
+    num_insertions = sum(len(batch.insertions) for batch in stream)
+
+    modes = [("oracle", 1, "serial"),
+             (f"shards{shards}-serial", shards, "serial"),
+             (f"shards{shards}-threads", shards, "threads")]
+    rows: List[Dict] = []
+    edge_sets: Dict[str, Dict] = {}
+    fingerprints: Dict[str, List[tuple]] = {}
+
+    for name, num_shards, shard_mode in modes:
+        config = _engine_config(seed, num_shards, shard_mode)
+        best = float("inf")
+        chosen = None
+        for _ in range(max(1, repeats)):
+            driver = InGrassSparsifier.from_config(config)
+            driver.setup(graph, sparsifier, target_condition_number=TARGET_CONDITION)
+            if num_shards > 1:
+                driver.plan  # materialise plan + scoped filters before timing
+            gc.collect()
+            enabled = gc.isenabled()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                results = [driver.update(batch) for batch in stream]
+                elapsed = time.perf_counter() - start
+            finally:
+                if enabled:
+                    gc.enable()
+            if elapsed < best:
+                best = elapsed
+                chosen = (driver, results)
+        assert chosen is not None
+        driver, results = chosen
+        engine_seconds = sum(r.insertion.update_seconds for r in results
+                             if r.insertion is not None)
+        removal_seconds = sum(r.removal.removal_seconds for r in results
+                              if r.removal is not None)
+        drop_seconds = sum(r.removal.shard_report.drop_seconds for r in results
+                           if r.removal is not None
+                           and getattr(r.removal, "shard_report", None) is not None)
+        escrow_events = sum(
+            report.escrow_events
+            for r in results
+            for report in (getattr(r.removal, "shard_report", None),
+                           getattr(r.insertion, "shard_report", None))
+            if report is not None
+        )
+        edge_sets[name] = dict(driver.sparsifier._edges)
+        fingerprints[name] = _history_fingerprint(driver)
+        rows.append({
+            "mode": name, "num_shards": num_shards, "shard_mode": shard_mode,
+            "pipeline_seconds": best,
+            "pipeline_per_event_us": best / events * 1e6,
+            "engine_seconds": engine_seconds,
+            "removal_seconds": removal_seconds,
+            "drop_seconds": drop_seconds,
+            "escrow_events": escrow_events,
+            "replans": getattr(driver, "replans", 0),
+        })
+
+    reference_edges = edge_sets["oracle"]
+    reference_history = fingerprints["oracle"]
+    for row in rows:
+        row["edge_sets_match"] = set(edge_sets[row["mode"]]) == set(reference_edges)
+        row["weights_match"] = edge_sets[row["mode"]] == reference_edges
+        row["history_match"] = fingerprints[row["mode"]] == reference_history
+
+    by_mode = {row["mode"]: row for row in rows}
+    oracle = by_mode["oracle"]
+    serial = by_mode[f"shards{shards}-serial"]
+    threads = by_mode[f"shards{shards}-threads"]
+    return {
+        "meta": {
+            "benchmark": "shard_removal",
+            "case": case,
+            "paper_case": spec.paper_name,
+            "scale": scale,
+            "seed": seed,
+            "events": int(events),
+            "batches": int(batches),
+            "deletions": num_deletions,
+            "insertions": num_insertions,
+            "deletion_fraction": deletion_fraction,
+            "shards": int(shards),
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+            "repeats": repeats,
+            "cpu_count": os.cpu_count() or 1,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+        "results": rows,
+        "overhead_serial_sharding": (serial["pipeline_seconds"] / oracle["pipeline_seconds"]
+                                     if oracle["pipeline_seconds"] > 0 else float("inf")),
+        "engine_speedup_threads": (oracle["engine_seconds"] / threads["engine_seconds"]
+                                   if threads["engine_seconds"] > 0 else float("inf")),
+        "pipeline_speedup_threads": (oracle["pipeline_seconds"] / threads["pipeline_seconds"]
+                                     if threads["pipeline_seconds"] > 0 else float("inf")),
+    }
+
+
+def print_results(payload: Dict) -> str:
+    """Format the benchmark payload as a table."""
+    rows = []
+    for row in payload["results"]:
+        rows.append({
+            "Mode": row["mode"],
+            "Pipeline (s)": row["pipeline_seconds"],
+            "Engine (s)": row["engine_seconds"],
+            "Removal (s)": row["removal_seconds"],
+            "Drop (s)": row["drop_seconds"],
+            "Escrow": row["escrow_events"],
+            "Replans": row["replans"],
+            "H identical": ("yes" if row["edge_sets_match"] and row["weights_match"]
+                            and row["history_match"] else "NO"),
+        })
+    return format_table(rows, list(rows[0].keys()) if rows else [], precision=3)
+
+
+def distil_baseline(payload: Dict) -> Dict:
+    """Reduce a benchmark payload to the committed baseline schema."""
+    meta = payload.get("meta", {})
+    by_mode = {row["mode"]: row for row in payload["results"]}
+    shards = meta.get("shards", 2)
+    return {
+        "benchmark": "shard_removal",
+        "case": meta.get("case"),
+        "scale": meta.get("scale"),
+        "seed": meta.get("seed"),
+        "events": meta.get("events"),
+        "batches": meta.get("batches"),
+        "deletion_fraction": meta.get("deletion_fraction"),
+        "shards": shards,
+        "cpu_count": meta.get("cpu_count"),
+        "generated": meta.get("timestamp"),
+        "oracle_pipeline_seconds": by_mode["oracle"]["pipeline_seconds"],
+        "oracle_engine_seconds": by_mode["oracle"]["engine_seconds"],
+        "serial_pipeline_seconds": by_mode[f"shards{shards}-serial"]["pipeline_seconds"],
+        "threads_engine_seconds": by_mode[f"shards{shards}-threads"]["engine_seconds"],
+        "engine_speedup_threads": payload.get("engine_speedup_threads"),
+        "overhead_serial_sharding": payload.get("overhead_serial_sharding"),
+    }
+
+
+def check_gate(payload: Dict, baseline: Optional[Dict], *, min_speedup: float = 1.2,
+               overhead_tolerance: float = 0.25, regression_tolerance: float = 0.35,
+               ) -> List[str]:
+    """Gate a benchmark payload; return failure messages (empty = pass).
+
+    Three criteria:
+
+    1. **Oracle parity** (always): every execution produced the identical
+       sparsifier — edge set, weights — and identical per-batch history over
+       the full mixed deletion-heavy pipeline.
+    2. **Pipeline overhead** (always): the sharded driver executed serially
+       must stay within ``overhead_tolerance`` of the unsharded driver's
+       wall-clock on the whole stream, deletion phases included.
+    3. **Scaling** (multi-core hosts): the threaded execution's engine
+       region — the GIL-releasing scoring/filter phases that actually
+       overlap across shards — must beat the oracle's by ``min_speedup``.
+       Deferred with a notice on single-CPU hosts.  When a multi-core
+       baseline exists, the threads/oracle engine ratio must additionally
+       not regress by more than ``regression_tolerance``.
+    """
+    failures: List[str] = []
+    meta = payload.get("meta", {})
+    cpu_count = int(meta.get("cpu_count", 1))
+    for row in payload.get("results", []):
+        if not row.get("edge_sets_match", True):
+            failures.append(f"{row['mode']}: sparsifier edge set diverged from the oracle")
+        elif not row.get("weights_match", True):
+            failures.append(f"{row['mode']}: sparsifier weights diverged from the oracle")
+        elif not row.get("history_match", True):
+            failures.append(f"{row['mode']}: per-batch history diverged from the oracle")
+    overhead = float(payload.get("overhead_serial_sharding", float("inf")))
+    if overhead > 1.0 + overhead_tolerance:
+        failures.append(
+            f"sharded-serial pipeline is {overhead:.2f}x the unsharded driver "
+            f"(limit {1.0 + overhead_tolerance:.2f}x): removal routing/merge overhead regressed"
+        )
+    speedup = float(payload.get("engine_speedup_threads", 0.0))
+    if cpu_count >= 2:
+        if speedup < min_speedup:
+            failures.append(
+                f"threaded engine region is only {speedup:.2f}x the oracle on a "
+                f"{cpu_count}-CPU host (required ≥ {min_speedup:.2f}x)"
+            )
+    else:
+        ci.notice(
+            f"sharded-removal scaling criterion deferred: host has {cpu_count} CPU "
+            f"(measured engine speedup {speedup:.2f}x, enforced ≥ {min_speedup:.2f}x "
+            "on multi-core runners)",
+            title="sharded-removal gate",
+        )
+    if baseline is not None and int(baseline.get("cpu_count", 1)) < 2:
+        ci.notice(
+            "threads/oracle ratio-regression arm skipped: the committed baseline was "
+            "generated on a single-CPU host — regenerate it on a multi-core machine "
+            "(`python -m repro.bench.shard_removal --write-baseline`) to arm it",
+            title="sharded-removal gate",
+        )
+    if baseline is not None and int(baseline.get("cpu_count", 1)) >= 2 and cpu_count >= 2:
+        reference_ratio = (float(baseline["threads_engine_seconds"])
+                           / float(baseline["oracle_engine_seconds"]))
+        by_mode = {row["mode"]: row for row in payload.get("results", [])}
+        shards = meta.get("shards", 2)
+        measured_ratio = (float(by_mode[f"shards{shards}-threads"]["engine_seconds"])
+                          / float(by_mode["oracle"]["engine_seconds"]))
+        if measured_ratio > reference_ratio * (1.0 + regression_tolerance):
+            failures.append(
+                f"threads/oracle engine ratio {measured_ratio:.3f} regressed more than "
+                f"{regression_tolerance:.0%} against the baseline ratio {reference_ratio:.3f}"
+            )
+    return failures
+
+
+def _load(path: str) -> Dict:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Sharded removal/churn pipeline benchmark / CI gate")
+    parser.add_argument("--check", metavar="BENCH_JSON", default=None,
+                        help="gate mode: validate this benchmark result")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE_PATH),
+                        help="baseline file to read (check) or write (--write-baseline)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="after running, distil the result into --baseline")
+    parser.add_argument("--min-speedup", type=float, default=1.2,
+                        help="required threaded engine speedup (multi-core hosts)")
+    parser.add_argument("--overhead-tolerance", type=float, default=0.25,
+                        help="allowed relative pipeline overhead of the sharded-serial run")
+    parser.add_argument("--regression-tolerance", type=float, default=0.35,
+                        help="allowed relative regression of the threads/oracle engine ratio")
+    parser.add_argument("--events", type=int, default=100_000,
+                        help="total stream size (insertions + deletions)")
+    parser.add_argument("--batches", type=int, default=8, help="number of mixed batches")
+    parser.add_argument("--deletion-fraction", type=float, default=0.3,
+                        help="fraction of streamed events that delete edges")
+    parser.add_argument("--shards", type=int, default=2, help="shard count to scale to")
+    parser.add_argument("--case", default="g2_circuit", help="dataset registry name")
+    parser.add_argument("--scale", default="large", choices=["small", "medium", "large"])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=3, help="best-of-N timing repeats")
+    parser.add_argument("--output", default="BENCH_removal.json",
+                        help="path of the JSON artifact (empty string disables writing)")
+    args = parser.parse_args(argv)
+
+    if args.check is not None:
+        payload = _load(args.check)
+        baseline = _load(args.baseline) if Path(args.baseline).exists() else None
+        failures = check_gate(payload, baseline, min_speedup=args.min_speedup,
+                              overhead_tolerance=args.overhead_tolerance,
+                              regression_tolerance=args.regression_tolerance)
+        if failures:
+            print("SHARDED REMOVAL GATE FAILED:")
+            for failure in failures:
+                print(f"  - {failure}")
+            print(f"(baseline: {args.baseline}; refresh it with "
+                  "`python -m repro.bench.shard_removal --write-baseline` "
+                  "if the change is intentional)")
+            return 1
+        print("sharded-removal gate OK: oracle parity over the mixed pipeline, overhead "
+              f"within {args.overhead_tolerance:.0%}, scaling criterion "
+              f"{'enforced' if int(payload.get('meta', {}).get('cpu_count', 1)) >= 2 else 'deferred (single CPU)'}")
+        return 0
+
+    payload = run_removal_bench(events=args.events, batches=args.batches,
+                                shards=args.shards,
+                                deletion_fraction=args.deletion_fraction,
+                                case=args.case, scale=args.scale, seed=args.seed,
+                                repeats=args.repeats)
+    print("Sharded removal — full mixed deletion-heavy pipeline, "
+          "unsharded vs sharded (serial / threads)")
+    print(print_results(payload))
+    print(f"threads engine speedup vs oracle: {payload['engine_speedup_threads']:.2f}x "
+          f"(full pipeline: {payload['pipeline_speedup_threads']:.2f}x, "
+          f"host: {payload['meta']['cpu_count']} CPU)")
+    print(f"sharded-serial pipeline overhead vs oracle: "
+          f"{payload['overhead_serial_sharding']:.2f}x")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.output}")
+    if args.write_baseline:
+        baseline = distil_baseline(payload)
+        path = Path(args.baseline)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote baseline {path}")
+    if not all(row["edge_sets_match"] and row["weights_match"] and row["history_match"]
+               for row in payload["results"]):
+        print("ACCEPTANCE FAILED: a sharded execution diverged from the oracle")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -1,0 +1,193 @@
+"""Nightly soak: a long sharded churn stream checked against the oracle.
+
+The CI gates keep per-commit latency honest but only stream a handful of
+batches; the failure modes that matter for a long-lived deployment —
+hierarchy maintenance drifting structurally, adaptive replans thrashing or
+(worse) perturbing results, full re-setups sneaking back in — only show up
+over hundreds of batches.  This soak streams one long mixed insert/delete
+sequence (500 batches by default) through the sharded driver in its
+production-shaped configuration and asserts the long-run contract:
+
+* ``hierarchy_mode="maintain"`` pays **zero** full re-setups across the
+  whole stream;
+* the sharded execution (4 shards, threaded, adaptive replans armed) stays
+  **bit-exact** with the unsharded oracle — edge set, weights — and its
+  end-state κ matches the oracle's;
+* the adaptive replan count stays under a configured bound (the policy must
+  improve routing, not thrash the partition);
+* the sparsifier never disconnects.
+
+Run with::
+
+    python -m repro.bench.soak [--batches 500] [--events 25000] [--shards 4]
+                               [--max-replans 20] [--output BENCH_soak.json]
+
+Exit status 0 iff every acceptance criterion holds; the JSON artifact
+records the full outcome for the workflow run page.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.bench.datasets import get_dataset
+from repro.core.config import InGrassConfig, LRDConfig
+from repro.core.incremental import InGrassSparsifier
+from repro.graphs.components import is_connected
+from repro.sparsify.grass import GrassConfig, GrassSparsifier
+from repro.streams.scenarios import simulate_event_stream
+
+#: Target condition number handed to filtering-level selection.
+TARGET_CONDITION = 128.0
+
+#: Locality blend of the soak stream (matches the shard benches).
+LONG_RANGE_FRACTION = 0.10
+
+
+def _soak_config(seed: int, num_shards: int) -> InGrassConfig:
+    """The production-shaped soak configuration (or its unsharded oracle)."""
+    return InGrassConfig(
+        lrd=LRDConfig(seed=seed),
+        batch_mode="vectorized",
+        decision_records="arrays",
+        distortion_threshold=1.0,
+        hierarchy_mode="maintain",
+        num_shards=num_shards,
+        shard_mode="threads" if num_shards > 1 else "auto",
+        shard_batch_threshold=0,
+        replan_escrow_fraction=0.5,
+        replan_imbalance=2.0,
+        seed=seed,
+    )
+
+
+def run_soak(*, batches: int = 500, events: int = 25_000, shards: int = 4,
+             deletion_fraction: float = 0.35, case: str = "g2_circuit",
+             scale: str = "small", seed: int = 0, max_replans: int = 20,
+             dense_limit: int = 1500) -> Dict:
+    """Run the soak protocol; return the JSON-ready payload."""
+    spec = get_dataset(case)
+    graph = spec.build(scale=scale, seed=seed)
+    grass = GrassSparsifier(GrassConfig(target_offtree_density=0.10,
+                                        tree_method="shortest_path", seed=seed))
+    sparsifier = grass.sparsify(graph, evaluate_condition=False).sparsifier
+    stream = simulate_event_stream(
+        graph, int(events), int(batches), deletion_fraction=deletion_fraction,
+        long_range_fraction=LONG_RANGE_FRACTION, locality_hops=3,
+        protect_spanning_tree=True, seed=seed + events,
+    )
+
+    runs: Dict[str, Dict] = {}
+    drivers: Dict[str, InGrassSparsifier] = {}
+    for name, num_shards in (("oracle", 1), (f"shards{shards}", shards)):
+        driver = InGrassSparsifier.from_config(_soak_config(seed, num_shards))
+        driver.setup(graph, sparsifier, target_condition_number=TARGET_CONDITION)
+        start = time.perf_counter()
+        for batch in stream:
+            driver.update(batch)
+        elapsed = time.perf_counter() - start
+        maintenance = driver.maintenance_stats
+        runs[name] = {
+            "num_shards": num_shards,
+            "seconds": elapsed,
+            "per_event_us": elapsed / max(1, events) * 1e6,
+            "full_resetups": driver.full_resetups,
+            "sparsifier_edges": driver.sparsifier.num_edges,
+            "hierarchy_splices": maintenance.splices,
+            "hierarchy_merges": maintenance.merges,
+            "replans": getattr(driver, "replans", 0),
+            "adaptive_replans": getattr(driver, "adaptive_replans", 0),
+            "plan_patches": getattr(driver, "plan_patches", 0),
+            "connected": is_connected(driver.sparsifier),
+            "kappa_final": driver.condition_number(dense_limit=dense_limit),
+        }
+        drivers[name] = driver
+
+    oracle = drivers["oracle"]
+    sharded = drivers[f"shards{shards}"]
+    sharded_run = runs[f"shards{shards}"]
+    edges_match = dict(sharded.sparsifier._edges) == dict(oracle.sparsifier._edges)
+    kappa_delta = abs(sharded_run["kappa_final"] - runs["oracle"]["kappa_final"])
+    acceptance = {
+        "zero_full_resetups": sharded_run["full_resetups"] == 0
+                              and runs["oracle"]["full_resetups"] == 0,
+        "oracle_parity_edges_weights": edges_match,
+        # Bit-exact edge sets make the κ computations identical inputs; the
+        # tiny slack only covers eigensolver non-determinism across calls.
+        "kappa_parity": kappa_delta <= 1e-6 * max(1.0, runs["oracle"]["kappa_final"]),
+        "replans_bounded": sharded_run["replans"] <= max_replans,
+        "stayed_connected": sharded_run["connected"] and runs["oracle"]["connected"],
+    }
+    return {
+        "meta": {
+            "benchmark": "soak",
+            "case": case,
+            "paper_case": spec.paper_name,
+            "scale": scale,
+            "seed": seed,
+            "batches": int(batches),
+            "events": int(events),
+            "deletion_fraction": deletion_fraction,
+            "shards": int(shards),
+            "max_replans": int(max_replans),
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+            "cpu_count": os.cpu_count() or 1,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+        "results": runs,
+        "kappa_delta": kappa_delta,
+        "acceptance": acceptance,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Nightly soak: long sharded churn stream vs the unsharded oracle")
+    parser.add_argument("--batches", type=int, default=500,
+                        help="number of streamed mixed batches")
+    parser.add_argument("--events", type=int, default=25_000,
+                        help="total stream size (insertions + deletions)")
+    parser.add_argument("--shards", type=int, default=4, help="shard count of the soak run")
+    parser.add_argument("--deletion-fraction", type=float, default=0.35)
+    parser.add_argument("--max-replans", type=int, default=20,
+                        help="acceptance bound on the sharded run's total replans")
+    parser.add_argument("--case", default="g2_circuit", help="dataset registry name")
+    parser.add_argument("--scale", default="small", choices=["small", "medium", "large"])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default="BENCH_soak.json",
+                        help="path of the JSON artifact (empty string disables writing)")
+    args = parser.parse_args(argv)
+
+    payload = run_soak(batches=args.batches, events=args.events, shards=args.shards,
+                       deletion_fraction=args.deletion_fraction, case=args.case,
+                       scale=args.scale, seed=args.seed, max_replans=args.max_replans)
+    print(f"Soak — {args.batches}-batch mixed churn stream "
+          f"({args.deletion_fraction:.0%} deletions, maintain mode, "
+          f"{args.shards} shards threaded, adaptive replans armed)")
+    for name, run in payload["results"].items():
+        print(f"  {name:<10} {run['seconds']:.2f}s  {run['per_event_us']:.1f} us/event  "
+              f"resetups={run['full_resetups']}  splices={run['hierarchy_splices']}  "
+              f"merges={run['hierarchy_merges']}  replans={run['replans']} "
+              f"(adaptive {run['adaptive_replans']}, patches {run['plan_patches']})  "
+              f"kappa={run['kappa_final']:.3f}")
+    for key, value in payload["acceptance"].items():
+        print(f"  {key}: {'ok' if value else 'FAILED'}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.output}")
+    return 0 if all(payload["acceptance"].values()) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -29,8 +29,10 @@ from repro.core.maintenance import HierarchyMaintainer, MaintenanceStats, Splice
 from repro.core.setup import SetupResult, run_local_setup, run_setup
 from repro.core.sharding import (
     CompositeSimilarityFilter,
+    ReplanPolicy,
     ShardBatchReport,
     ShardContext,
+    ShardedRemovalResult,
     ShardedSparsifier,
     ShardedUpdateResult,
     ShardPlan,
@@ -82,7 +84,9 @@ __all__ = [
     "CompositeSimilarityFilter",
     "ShardedSparsifier",
     "ShardedUpdateResult",
+    "ShardedRemovalResult",
     "ShardBatchReport",
+    "ReplanPolicy",
     "UpdateResult",
     "run_update",
     "RemovalResult",

@@ -174,6 +174,31 @@ class InGrassConfig:
     shard_batch_threshold:
         Batch size at which ``shard_mode="auto"`` starts using threads
         (below it, pool dispatch overhead exceeds the win).
+    replan_escrow_fraction:
+        Adaptive replanning: once the fraction of streamed events routed to
+        the cross-shard escrow (accumulated since the current
+        :class:`~repro.core.sharding.ShardPlan` was derived) exceeds this
+        threshold, the plan is re-derived from the current tracked graph —
+        the stream's locality has drifted away from the partition and the
+        Fiedler sweep can find a better one.  ``None`` (default) disables
+        the trigger; the plan then only re-derives on invariant violations
+        (cross-shard cluster fusions).  Replans never change results (the
+        oracle guarantee is plan-independent), only routing efficiency.
+    replan_imbalance:
+        Adaptive replanning: once the realised per-shard event imbalance —
+        the busiest shard's intra-shard event share divided by the ideal
+        ``1 / num_shards`` share, accumulated since the current plan —
+        exceeds this factor, the plan is re-derived.  ``None`` (default)
+        disables the trigger; values must be ≥ 1 (1 would replan on any
+        deviation from perfect balance).
+    replan_min_events:
+        Adaptive replanning: events that must accumulate under the current
+        plan before either trigger arms, so a handful of unlucky batches
+        right after a (re)plan cannot thrash the partition.  The threshold
+        doubles after every adaptive replan (exponential back-off), which
+        bounds any stream's total adaptive replans at
+        ``log2(stream length / replan_min_events)`` even when the workload's
+        intrinsic cross-shard floor sits above the trigger.
     seed:
         Seed for stochastic components.
     """
@@ -200,6 +225,9 @@ class InGrassConfig:
     num_shards: int = 1
     shard_mode: str = "auto"
     shard_batch_threshold: int = 4096
+    replan_escrow_fraction: Optional[float] = None
+    replan_imbalance: Optional[float] = None
+    replan_min_events: int = 256
     seed: SeedLike = 0
 
     def use_vectorized(self, batch_size: int) -> bool:
@@ -267,3 +295,9 @@ class InGrassConfig:
                              "expected 'auto', 'serial' or 'threads'")
         if self.shard_batch_threshold < 0:
             raise ValueError("shard_batch_threshold must be non-negative")
+        if self.replan_escrow_fraction is not None:
+            if not 0.0 < self.replan_escrow_fraction <= 1.0:
+                raise ValueError("replan_escrow_fraction must lie in (0, 1]")
+        if self.replan_imbalance is not None and self.replan_imbalance < 1.0:
+            raise ValueError("replan_imbalance must be >= 1")
+        check_positive_int(self.replan_min_events, "replan_min_events")

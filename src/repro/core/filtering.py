@@ -302,11 +302,19 @@ class SimilarityFilter:
                     del self._connectivity[pair]
 
     def _representative(self, pair: ClusterPair) -> Optional[Tuple[int, int]]:
-        """Return one sparsifier edge realising ``pair`` (or ``None``)."""
+        """Return the canonical sparsifier edge realising ``pair`` (or ``None``).
+
+        The smallest edge key of the bucket, *not* an iteration-order pick:
+        bucket insertion order is history (it differs between a filter that
+        evolved in place and one rebuilt from a sparsifier scan, e.g. a shard
+        replan), and the representative decides where merged weight lands —
+        so it must be a pure function of the bucket's *content* for the
+        sharded driver's oracle guarantee to hold.
+        """
         bucket = self._connectivity.get(pair)
         if not bucket:
             return None
-        return next(iter(bucket))
+        return min(bucket)
 
     # ------------------------------------------------------------------ #
     # Invalidation hooks for the fully dynamic update path
@@ -415,9 +423,13 @@ class SimilarityFilter:
 
         Returns ``(edges, deltas)`` or ``None`` when the cluster offers no
         positive-weight support — the single source of the redistribution
-        arithmetic shared by the scalar and batched apply paths.
+        arithmetic shared by the scalar and batched apply paths.  The edges
+        are sorted canonically: the proportional split divides by the float
+        *sum* of the current weights, whose rounding depends on summation
+        order, so the arithmetic must not see bucket insertion order (which
+        differs between an evolved filter and one rebuilt by a shard replan).
         """
-        edges = list(self._intra_cluster_edges.get(cluster, {}))
+        edges = sorted(self._intra_cluster_edges.get(cluster, {}))
         if not edges:
             return None
         current_weights = np.array([self._sparsifier.weight(u, v) for u, v in edges])
@@ -615,7 +627,9 @@ class SimilarityFilter:
                 pair = (lo_first[g], hi_first[g])
                 bucket = connectivity.get(pair)
                 if bucket:
-                    tu, tv = next(iter(bucket))
+                    # Canonical representative (see _representative): merged
+                    # weight must land on a bucket-content-determined edge.
+                    tu, tv = min(bucket)
                 else:
                     p, q = us_first[g], vs_first[g]
                     tu, tv = (p, q) if p <= q else (q, p)

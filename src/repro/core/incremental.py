@@ -30,7 +30,7 @@ Typical usage::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import InGrassConfig
@@ -152,6 +152,7 @@ class InGrassSparsifier:
         self._filter: Optional[SimilarityFilter] = None
         self._maintainer: Optional[HierarchyMaintainer] = None
         self._target_condition: Optional[float] = self.config.target_condition_number
+        self._pinned_config: Optional[InGrassConfig] = None
         self._history: List[IterationRecord] = []
         self._total_update_seconds = 0.0
         self._full_resetups = 0
@@ -237,6 +238,27 @@ class InGrassSparsifier:
         if self._setup is None:
             raise RuntimeError("call setup() before using the sparsifier")
 
+    def _resolved_config(self) -> InGrassConfig:
+        """The configuration with the filtering level pinned for this setup.
+
+        The similarity filtering level is a *setup-time* choice (Section
+        III-C-2 derives it from the hierarchy the setup phase built): the
+        whole cluster-pair map — and, in the sharded driver, the shard plan
+        itself — is keyed by that level's labels.  Re-deriving the level on
+        every call would let maintain-mode splices/merges drift it
+        mid-stream, silently invalidating every level-keyed structure (the
+        engine would build throwaway filters per batch and lose their
+        registrations), so the first resolution after a (re)setup is frozen
+        into the config every pipeline call receives.
+        """
+        self._require_setup()
+        if self._pinned_config is None:
+            assert self._setup is not None
+            level = _select_filtering_level(self._setup, self.config, self._target_condition)
+            self._pinned_config = (self.config if self.config.filtering_level == level
+                                   else replace(self.config, filtering_level=level))
+        return self._pinned_config
+
     # ------------------------------------------------------------------ #
     # Setup
     # ------------------------------------------------------------------ #
@@ -274,6 +296,7 @@ class InGrassSparsifier:
         self._setup = run_setup(self._sparsifier, self.config)
         self._filter = None
         self._maintainer = None
+        self._pinned_config = None
         self._history = []
         self._total_update_seconds = 0.0
         self._full_resetups = 0
@@ -295,7 +318,8 @@ class InGrassSparsifier:
         """Build (once) the stateful similarity filter bound to the sparsifier."""
         assert self._setup is not None and self._sparsifier is not None
         if self._filter is None:
-            level = _select_filtering_level(self._setup, self.config, self._target_condition)
+            level = _select_filtering_level(self._setup, self._resolved_config(),
+                                            self._target_condition)
             self._filter = SimilarityFilter(
                 self._sparsifier, self._setup.hierarchy, level,
                 redistribute_intra_cluster_weight=self.config.redistribute_intra_cluster_weight,
@@ -347,7 +371,7 @@ class InGrassSparsifier:
         assert graph is not None and sparsifier is not None and self._setup is not None
         graph.add_edges(new_edges, merge="add")
         return run_update(
-            sparsifier, self._setup, new_edges, self.config,
+            sparsifier, self._setup, new_edges, self._resolved_config(),
             target_condition_number=self._target_condition,
             similarity_filter=self._ensure_filter(),
             maintainer=self._ensure_maintainer(),
@@ -366,13 +390,7 @@ class InGrassSparsifier:
         # Capture the physical weights while removing so run_removal can
         # re-home conductance that merges parked on removed sparsifier edges.
         removed_with_weights = graph.remove_edges(pairs)
-        result = run_removal(
-            sparsifier, self._setup, removed_with_weights,
-            graph=graph, config=self.config,
-            target_condition_number=self._target_condition,
-            similarity_filter=self._ensure_filter(),
-            maintainer=self._ensure_maintainer(),
-        )
+        result = self._run_removal(removed_with_weights)
         # The periodic full re-setup is a rebuild-mode fallback: the
         # maintenance mode keeps the hierarchy structurally accurate, so it
         # never pays the O(m log n) refresh.
@@ -381,6 +399,24 @@ class InGrassSparsifier:
                 and self._setup.hierarchy.needs_refresh(threshold)):
             self.refresh_setup()
         return result
+
+    def _run_removal(self, removed_with_weights: Sequence[WeightedEdge]) -> RemovalResult:
+        """Run the sparsifier-side removal pipeline on one validated batch.
+
+        ``removed_with_weights`` carries the weight each edge had in the
+        tracked graph (already removed from it).  The shard-aware driver
+        overrides this hook with the sharded removal pipeline; everything
+        around it — validation, connectivity pre-flight, the re-setup
+        schedule — stays in :meth:`_apply_removals`.
+        """
+        assert self._sparsifier is not None and self._setup is not None
+        return run_removal(
+            self._sparsifier, self._setup, removed_with_weights,
+            graph=self._graph, config=self._resolved_config(),
+            target_condition_number=self._target_condition,
+            similarity_filter=self._ensure_filter(),
+            maintainer=self._ensure_maintainer(),
+        )
 
     def _apply_weight_changes(self, changes: Sequence[WeightedEdge]) -> ReweightResult:
         """Weight-change phase: bump conductances in place, no repair needed.
@@ -441,7 +477,8 @@ class InGrassSparsifier:
             return None
         assert self._graph is not None and self._sparsifier is not None and self._setup is not None
         return run_kappa_guard(
-            self._sparsifier, self._setup, graph=self._graph, config=self.config,
+            self._sparsifier, self._setup, graph=self._graph,
+            config=self._resolved_config(),
             target_condition_number=self._target_condition,
             similarity_filter=self._ensure_filter(),
             maintainer=self._ensure_maintainer(),
@@ -561,6 +598,7 @@ class InGrassSparsifier:
             self._setup = run_setup(self._sparsifier, self.config)
         self._filter = None
         self._maintainer = None
+        self._pinned_config = None
         self._full_resetups += 1
         self._resetup_seconds += timer.elapsed
         return self._setup

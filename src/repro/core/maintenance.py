@@ -223,6 +223,18 @@ class HierarchyMaintainer:
         fragments = [np.sort(mapping[component]) for component in components]
         return fragments, fragment_diameters(subgraph, components, self._exact_limit)
 
+    def note_spliced_nodes(self, nodes) -> None:
+        """Mark ``nodes`` as pending splice neighbourhood.
+
+        Used by the sharded driver when it rebuilds its per-shard contexts
+        (a replan) between a removal batch and the κ-guard pass: the retiring
+        maintainer's un-drained splice neighbourhood is adopted by its
+        replacement, so the guard's round-0 candidate pool is independent of
+        when replans happen — part of the oracle guarantee.
+        """
+        for node in np.asarray(nodes, dtype=np.int64).tolist():
+            self._splice_neighbourhood[int(node)] = None
+
     def drain_splice_neighbourhood(self) -> np.ndarray:
         """Return (and clear) the nodes of clusters spliced since the last drain.
 

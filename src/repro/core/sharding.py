@@ -46,11 +46,28 @@ empty escrow, i.e. literally today's behaviour.  The parity property suite
 (``tests/test_sharded.py``) asserts shard-count invariance on mixed churn
 streams.
 
-When hierarchy maintenance fuses two partition-level clusters that lived in
+**Removal phase.**  Deletion batches shard the same way: stage 1 of the
+removal pipeline — sparsifier-edge drop, cluster-pair bucket invalidation,
+excess-weight re-homing — runs per shard (serially or on the thread pool)
+for intra-shard pairs, with cross-shard deletions draining through the
+escrow context; the inherently global steps — rebuild-mode diameter
+inflation, union-find reconnection, maintain-mode splices, the
+distortion-ranked repair pass, the κ guard — run post-barrier in the exact
+order the unsharded pipeline uses (see
+:meth:`ShardedSparsifier._run_removal`).
+
+When hierarchy maintenance fuses two filtering-level clusters that lived in
 different shards (possible only through escrow edges), the plan is stale;
-every entry point revalidates the partition invariant against the level's
-label version and re-derives the plan — rebuilding the per-shard filter
-slices — before routing anything else.
+every entry point revalidates the invariant against the filtering level's
+label version and *patches* the plan locally — the straddling cluster's
+minority nodes move to the majority shard and only their incident edges
+re-key between the scoped views.  Full plan re-derivations are driven by
+the adaptive :class:`ReplanPolicy` (``InGrassConfig.replan_escrow_fraction``
+/ ``replan_imbalance``): when the realised escrow fraction or per-shard
+event imbalance accumulated under the current plan crosses its threshold,
+the partition is re-derived from the current tracked graph so long
+locality-drifting streams keep cross-shard traffic near the geometric
+minimum instead of decaying to an all-escrow regime.
 """
 
 from __future__ import annotations
@@ -75,10 +92,22 @@ from repro.core.filtering import (
 from repro.core.hierarchy import ClusterHierarchy
 from repro.core.incremental import InGrassSparsifier
 from repro.core.maintenance import HierarchyMaintainer, MaintenanceStats
-from repro.core.update import UpdateResult, _select_filtering_level, run_update
+from repro.core.update import (
+    RemovalResult,
+    UpdateResult,
+    _select_filtering_level,
+    merge_drop_stages,
+    prepare_removal_batch,
+    run_removal_drop_stage,
+    run_removal_repair_stages,
+    run_update,
+)
 from repro.graphs.graph import Graph, canonical_edge
 from repro.graphs.validation import validate_new_edge_arrays
+from repro.utils.logging import get_logger
 from repro.utils.timing import Timer
+
+logger = get_logger("core.sharding")
 
 Edge = Tuple[int, int]
 WeightedEdge = Tuple[int, int, float]
@@ -264,21 +293,129 @@ class ShardPlan:
         """Node count per shard."""
         return np.bincount(self.node_shard, minlength=self.num_shards)
 
-    def is_consistent(self, hierarchy: ClusterHierarchy) -> bool:
-        """``True`` while no partition-level cluster straddles two shards.
+    def is_consistent(self, hierarchy: ClusterHierarchy,
+                      level: Optional[int] = None) -> bool:
+        """``True`` while no cluster of ``level`` straddles two shards.
 
         Clusters *splitting* keeps the plan valid (fragments stay inside
-        their shard); only a cross-shard *fusion* at the partition level —
-        possible through escrow-edge maintenance merges — breaks it.
+        their shard); only a cross-shard *fusion* — possible through
+        escrow-edge maintenance merges — breaks it.  ``level`` defaults to
+        the partition level; the driver validates against the *filtering*
+        level instead, which is the invariant that actually carries the
+        oracle guarantee (shard-disjoint filter buckets need every
+        filtering-level cluster to live inside one shard — fusions at the
+        coarser levels above it leave the buckets untouched, so replanning
+        on them would only churn the scoped filters for nothing).
         """
-        labels = hierarchy.level(self.partition_level).labels
-        num_clusters = hierarchy.level(self.partition_level).num_clusters
+        if level is None:
+            level = self.partition_level
+        labels = hierarchy.level(level).labels
+        num_clusters = hierarchy.level(level).num_clusters
         lowest = np.full(num_clusters, np.iinfo(np.int64).max, dtype=np.int64)
         highest = np.full(num_clusters, -1, dtype=np.int64)
         np.minimum.at(lowest, labels, self.node_shard)
         np.maximum.at(highest, labels, self.node_shard)
         populated = highest >= 0
         return bool(np.all(lowest[populated] == highest[populated]))
+
+
+# --------------------------------------------------------------------------- #
+# Adaptive replanning policy
+# --------------------------------------------------------------------------- #
+@dataclass
+class ReplanPolicy:
+    """Quality-triggered shard replanning (``InGrassConfig.replan_*`` knobs).
+
+    A :class:`ShardPlan` is derived from the traffic the sparsifier has seen
+    *so far*; a long stream whose locality drifts — new workload phases, a
+    region of the circuit being rebuilt — can decay any fixed plan into an
+    all-escrow regime where every event pays the cross-shard path.  This
+    policy accumulates the realised routing since the current plan was
+    derived and asks for a re-derivation when either quality signal crosses
+    its configured threshold:
+
+    * **escrow fraction** — events routed cross-shard over all events; high
+      values mean the partition no longer follows the stream's weak cuts;
+    * **imbalance** — the busiest shard's share of intra-shard events over
+      the ideal ``1 / num_shards`` share; high values mean one shard's
+      pipeline serialises the batch even when escrow traffic is low.
+
+    Both triggers stay disarmed until ``min_events`` events accumulate under
+    the plan, so a few unlucky batches right after a (re)plan cannot thrash
+    the partition.  The driver additionally *doubles* ``min_events`` after
+    every adaptive replan (exponential back-off): a workload whose intrinsic
+    escrow floor exceeds the threshold — no partition can do better — then
+    replans at most ``log2(stream length / min_events)`` times instead of
+    once per arming window.  Replanning never changes results — the oracle
+    guarantee is plan-independent — only routing efficiency, so the policy
+    is free to be heuristic.
+    """
+
+    escrow_fraction: Optional[float] = None
+    imbalance: Optional[float] = None
+    min_events: int = 256
+    #: Accumulators since the current plan (all events / escrow events /
+    #: per-shard intra events).
+    events: int = 0
+    escrow_events: int = 0
+    shard_events: List[int] = field(default_factory=list)
+
+    @classmethod
+    def from_config(cls, config: InGrassConfig, num_shards: int, *,
+                    min_events: Optional[int] = None) -> "ReplanPolicy":
+        """Build the policy for one freshly derived plan.
+
+        ``min_events`` overrides the config's arming threshold — the driver
+        passes its current back-off value there.
+        """
+        return cls(
+            escrow_fraction=config.replan_escrow_fraction,
+            imbalance=config.replan_imbalance,
+            min_events=(min_events if min_events is not None
+                        else config.replan_min_events),
+            shard_events=[0] * num_shards,
+        )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any trigger is configured."""
+        return self.escrow_fraction is not None or self.imbalance is not None
+
+    def observe(self, shard_events: Sequence[int], escrow_events: int) -> None:
+        """Fold one batch's realised routing into the accumulators."""
+        for shard, count in enumerate(shard_events):
+            self.shard_events[shard] += int(count)
+        self.escrow_events += int(escrow_events)
+        self.events += int(sum(shard_events)) + int(escrow_events)
+
+    def realised_escrow_fraction(self) -> float:
+        """Cross-shard share of all events since the current plan."""
+        if self.events == 0:
+            return 0.0
+        return self.escrow_events / self.events
+
+    def realised_imbalance(self) -> float:
+        """Busiest shard's intra-shard share over the ideal equal share."""
+        intra = sum(self.shard_events)
+        if intra == 0 or len(self.shard_events) <= 1:
+            return 1.0
+        return max(self.shard_events) * len(self.shard_events) / intra
+
+    def should_replan(self) -> Optional[str]:
+        """Return the trigger reason once a threshold is crossed, else ``None``."""
+        if not self.enabled or self.events < self.min_events:
+            return None
+        if self.escrow_fraction is not None:
+            fraction = self.realised_escrow_fraction()
+            if fraction > self.escrow_fraction:
+                return (f"escrow fraction {fraction:.3f} exceeded "
+                        f"{self.escrow_fraction:.3f} over {self.events} events")
+        if self.imbalance is not None:
+            factor = self.realised_imbalance()
+            if factor > self.imbalance:
+                return (f"shard event imbalance {factor:.2f}x exceeded "
+                        f"{self.imbalance:.2f}x over {self.events} events")
+        return None
 
 
 # --------------------------------------------------------------------------- #
@@ -419,7 +556,7 @@ class ShardContext:
 
 @dataclass
 class ShardBatchReport:
-    """How one insertion batch was executed across the shards."""
+    """How one batch (insertion or removal phase) was executed across the shards."""
 
     #: ``"serial"`` or ``"threads"``.
     mode: str
@@ -427,13 +564,26 @@ class ShardBatchReport:
     shard_events: List[int] = field(default_factory=list)
     #: Cross-shard events drained through the escrow stage.
     escrow_events: int = 0
-    #: Shard plans re-derived so far over the driver's lifetime.
+    #: Shard plans re-derived so far over the driver's lifetime (all causes).
     replans: int = 0
+    #: Subset of :attr:`replans` triggered by the adaptive quality policy
+    #: (:class:`ReplanPolicy`) rather than by invariant violations.
+    adaptive_replans: int = 0
+    #: Wall-clock of the per-shard drop stage of a removal batch (the region
+    #: that runs concurrently in ``threads`` mode); 0 for insertion batches.
+    drop_seconds: float = 0.0
 
 
 @dataclass
 class ShardedUpdateResult(UpdateResult):
     """:class:`UpdateResult` plus the shard execution report."""
+
+    shard_report: Optional[ShardBatchReport] = None
+
+
+@dataclass
+class ShardedRemovalResult(RemovalResult):
+    """:class:`~repro.core.update.RemovalResult` plus the shard execution report."""
 
     shard_report: Optional[ShardBatchReport] = None
 
@@ -455,7 +605,13 @@ class ShardedSparsifier(InGrassSparsifier):
         self._escrow: Optional[ShardContext] = None
         self._composite: Optional[CompositeSimilarityFilter] = None
         self._plan_version = -1
+        self._filter_level = 0
         self._replans = 0
+        self._adaptive_replans = 0
+        self._plan_patches = 0
+        self._replan_backoff: Optional[int] = None
+        self._replan_policy: Optional[ReplanPolicy] = None
+        self._single_shard_logged = False
         self._executor: Optional[ThreadPoolExecutor] = None
         self._retired_stats = MaintenanceStats()
 
@@ -493,8 +649,23 @@ class ShardedSparsifier(InGrassSparsifier):
 
     @property
     def replans(self) -> int:
-        """Shard plans re-derived after cross-shard cluster fusions."""
+        """Shard plans re-derived over the driver's lifetime (all causes)."""
         return self._replans
+
+    @property
+    def adaptive_replans(self) -> int:
+        """Replans triggered by the quality policy (escrow fraction / imbalance)."""
+        return self._adaptive_replans
+
+    @property
+    def plan_patches(self) -> int:
+        """Local plan repairs after cross-shard filtering-level fusions."""
+        return self._plan_patches
+
+    @property
+    def replan_policy(self) -> Optional[ReplanPolicy]:
+        """The live replanning policy of the current plan (``None`` before setup)."""
+        return self._replan_policy
 
     @property
     def maintainer(self) -> Optional[HierarchyMaintainer]:
@@ -536,6 +707,9 @@ class ShardedSparsifier(InGrassSparsifier):
         self._escrow = None
         self._composite = None
         self._plan_version = -1
+        self._replan_policy = None
+        self._replan_backoff = None
+        self._single_shard_logged = False
 
     def _shutdown_pool(self) -> None:
         if self._executor is not None:
@@ -557,14 +731,18 @@ class ShardedSparsifier(InGrassSparsifier):
         if self._contexts is not None:
             return
         assert self._setup is not None and self._sparsifier is not None
-        level = _select_filtering_level(self._setup, self.config, self._target_condition)
+        level = _select_filtering_level(self._setup, self._resolved_config(),
+                                        self._target_condition)
         hierarchy = self._setup.hierarchy
         plan = ShardPlan.from_hierarchy(
             hierarchy, self.config.num_shards, min_level=level,
             sparsifier=self._graph if self._graph is not None else self._sparsifier,
         )
         self._plan = plan
-        self._plan_version = hierarchy.level_labels_version(plan.partition_level)
+        # Staleness is tracked at the *filtering* level: that is where
+        # shard-disjoint buckets live, so only its fusions invalidate a plan.
+        self._filter_level = level
+        self._plan_version = hierarchy.level_labels_version(level)
         maintain = self.config.hierarchy_mode == "maintain"
 
         def make_context(shard_id: int) -> ShardContext:
@@ -580,6 +758,15 @@ class ShardedSparsifier(InGrassSparsifier):
         self._escrow = make_context(ESCROW)
         if self._composite is None:
             self._composite = CompositeSimilarityFilter(self)
+        self._replan_policy = ReplanPolicy.from_config(self.config, plan.num_shards,
+                                                       min_events=self._replan_backoff)
+        self._single_shard_logged = False
+        if plan.num_shards < self.config.num_shards:
+            logger.warning(
+                "shard plan realised %d of %d requested shards: the partition "
+                "level offers too few clusters",
+                plan.num_shards, self.config.num_shards,
+            )
 
     def _filter_views(self) -> List[ShardScopedFilter]:
         self._ensure_contexts()
@@ -596,28 +783,133 @@ class ShardedSparsifier(InGrassSparsifier):
         return self._escrow if shard == ESCROW else self._contexts[shard]
 
     def _replan_if_stale(self) -> None:
-        """Re-derive the plan after a cross-shard cluster fusion.
+        """Repair the plan after a cross-shard cluster fusion.
 
-        Cheap in the common case (one integer compare against the partition
-        level's label version); only an actual invariant violation — escrow-
-        edge maintenance fusing two partition-level clusters from different
-        shards — pays the re-partition and the scoped-filter rebuilds.
+        Cheap in the common case (one integer compare against the filtering
+        level's label version); an actual invariant violation — escrow-edge
+        maintenance fusing two filtering-level clusters from different
+        shards — is repaired *locally* by :meth:`_patch_plan`: the straddling
+        cluster's minority nodes move to the majority shard and only their
+        incident edges re-key between the scoped views, a cost proportional
+        to the fused neighbourhood rather than the full scoped-filter
+        rebuild a re-partition would pay.  Full re-derivations are reserved
+        for the adaptive quality policy (:class:`ReplanPolicy`), which fires
+        when accumulated routing statistics say the whole partition has
+        decayed.
         """
         if self._plan is None or self._setup is None:
             return
         hierarchy = self._setup.hierarchy
-        version = hierarchy.level_labels_version(self._plan.partition_level)
+        version = hierarchy.level_labels_version(self._filter_level)
         if version == self._plan_version:
             return
         self._plan_version = version
-        if self._plan.is_consistent(hierarchy):
+        if self._plan.is_consistent(hierarchy, self._filter_level):
             return
-        self._replans += 1
+        self._patch_plan()
+
+    def _patch_plan(self) -> None:
+        """Re-home every straddling filtering-level cluster onto one shard.
+
+        The oracle guarantee needs exactly one invariant from the plan: no
+        *filtering-level* cluster straddles shards (that is what makes the
+        scoped views' buckets tile the global filter map).  A maintenance
+        fusion across shards breaks it for the fused cluster only, so the
+        repair is local: assign the cluster's nodes to the shard already
+        holding most of them (ties to the lower shard id — deterministic)
+        and re-key the moved nodes' incident sparsifier edges to their new
+        owner views.  Bucket *content* moves between views; every consumer
+        of bucket state is content-canonical (see
+        :meth:`~repro.core.filtering.SimilarityFilter._representative`), so
+        results are unchanged — this is purely an execution-cost repair.
+        """
+        assert (self._plan is not None and self._setup is not None
+                and self._sparsifier is not None)
+        hierarchy = self._setup.hierarchy
+        plan = self._plan
+        level = hierarchy.level(self._filter_level)
+        labels = level.labels
+        node_shard = plan.node_shard
+        lowest = np.full(level.num_clusters, np.iinfo(np.int64).max, dtype=np.int64)
+        highest = np.full(level.num_clusters, -1, dtype=np.int64)
+        np.minimum.at(lowest, labels, node_shard)
+        np.maximum.at(highest, labels, node_shard)
+        offenders = np.flatnonzero((highest >= 0) & (lowest != highest))
+        sparsifier = self._sparsifier
+        for cluster in offenders.tolist():
+            members = hierarchy.cluster_members(self._filter_level, cluster)
+            shards, counts = np.unique(node_shard[members], return_counts=True)
+            target = int(shards[int(np.argmax(counts))])
+            movers = members[node_shard[members] != target]
+            if not movers.size:
+                continue
+            edges: Dict[Edge, None] = {}
+            for node in movers.tolist():
+                for neighbor in sparsifier.neighbors(node):
+                    edges[canonical_edge(node, int(neighbor))] = None
+            for u, v in edges:
+                self._owner_view(u, v).notify_edge_removed(u, v)
+            node_shard[movers] = target
+            for u, v in edges:
+                self._owner_view(u, v).notify_edge_added(u, v)
+        self._plan_patches += 1
+
+    def _rebuild_contexts(self) -> None:
+        """Re-derive the plan and rebuild every shard context (a replan).
+
+        The retiring escrow maintainer's un-drained splice neighbourhood is
+        adopted by its replacement so the κ guard's round-0 candidate pool —
+        part of the oracle guarantee — is independent of when replans happen;
+        maintenance counters are folded into the retirement accumulator the
+        same way.
+        """
+        pending_splices = np.zeros(0, dtype=np.int64)
+        if self._escrow is not None and self._escrow.maintainer is not None:
+            pending_splices = self._escrow.maintainer.drain_splice_neighbourhood()
         self._retire_context_stats()
+        # The pool is sized to the plan's shard count; a re-derived plan may
+        # realise a different one, so let _pool() rebuild it lazily.
+        self._shutdown_pool()
         self._contexts = None
         self._escrow = None
         self._plan = None
         self._ensure_contexts()
+        if pending_splices.size and self._escrow is not None \
+                and self._escrow.maintainer is not None:
+            self._escrow.maintainer.note_spliced_nodes(pending_splices)
+
+    def _adaptive_replan(self, reason: str) -> None:
+        """Re-derive the plan because a quality trigger fired.
+
+        The arming threshold of the next policy doubles (exponential
+        back-off): if the freshly derived plan still trips the trigger, the
+        workload's intrinsic cross-shard floor is above the threshold and
+        replanning cannot help — the back-off bounds the total adaptive
+        replans of any stream at ``log2(events / replan_min_events)``.
+        """
+        self._replans += 1
+        self._adaptive_replans += 1
+        current = (self._replan_backoff if self._replan_backoff is not None
+                   else self.config.replan_min_events)
+        self._replan_backoff = current * 2
+        logger.info("adaptive shard replan #%d: %s (next trigger arms after %d events)",
+                    self._adaptive_replans, reason, self._replan_backoff)
+        self._rebuild_contexts()
+
+    def _observe_routing(self, shard_events: Sequence[int], escrow_events: int) -> None:
+        """Feed one batch's realised routing to the replanning policy.
+
+        Called once per executed batch phase (insertions and removals each
+        route independently), *after* the phase completes so a triggered
+        replan never changes routing mid-batch.
+        """
+        policy = self._replan_policy
+        if policy is None or not policy.enabled:
+            return
+        policy.observe(shard_events, escrow_events)
+        reason = policy.should_replan()
+        if reason is not None:
+            self._adaptive_replan(reason)
 
     # ------------------------------------------------------------------ #
     # Overridden driver hooks: global stages route through the composite
@@ -668,7 +960,8 @@ class ShardedSparsifier(InGrassSparsifier):
         graph is *not* touched; :meth:`update` callers never need this
         directly.
         """
-        sparsifier, setup, config = self._sparsifier, self._setup, self.config
+        sparsifier, setup = self._sparsifier, self._setup
+        config = self._resolved_config()
         assert sparsifier is not None and setup is not None
         self._ensure_contexts()
         self._replan_if_stale()
@@ -678,7 +971,8 @@ class ShardedSparsifier(InGrassSparsifier):
 
         us, vs, ws = validate_new_edge_arrays(sparsifier, new_edges)
         m = int(us.shape[0])
-        level = _select_filtering_level(setup, config, self._target_condition)
+        # The contexts materialised above are keyed by the pinned level.
+        level = self._filter_level
 
         # Full-batch semantics must survive the split: the engine choice and
         # the relative-threshold median are resolved on the whole stream, so
@@ -764,9 +1058,137 @@ class ShardedSparsifier(InGrassSparsifier):
             shard_events=shard_events,
             escrow_events=escrow_events,
             replans=self._replans,
+            adaptive_replans=self._adaptive_replans,
         )
         timer.stop()
         result.update_seconds = timer.elapsed
+        self._observe_routing(shard_events, escrow_events)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Sharded removal engine
+    # ------------------------------------------------------------------ #
+    def _run_removal(self, removed_with_weights: Sequence[WeightedEdge]) -> RemovalResult:
+        """Removal pipeline with the drop stage executed per shard.
+
+        Stage 1 — sparsifier-edge drop, cluster-pair bucket invalidation and
+        excess-weight re-homing — touches, for an intra-shard edge, only the
+        owning shard's :class:`ShardScopedFilter` slice and shard-interior
+        sparsifier edges, so the per-shard drop stages commute and run
+        serially or on the thread pool; cross-shard deletions drain through
+        the escrow context the same way.  Everything inherently global —
+        rebuild-mode diameter inflation (shared coarse clusters), union-find
+        reconnection, maintain-mode splices, the distortion-ranked repair
+        pass and the κ guard that follows at batch level — runs post-barrier
+        in the exact order the unsharded pipeline uses, which is what keeps
+        any ``num_shards``/``shard_mode`` bit-exact with the oracle.
+        """
+        sparsifier, setup = self._sparsifier, self._setup
+        config = self._resolved_config()
+        graph = self._graph
+        assert sparsifier is not None and setup is not None and graph is not None
+        self._ensure_contexts()
+        self._replan_if_stale()
+        assert self._plan is not None and self._contexts is not None and self._escrow is not None
+        timer = Timer().start()
+        plan = self._plan
+
+        # The contexts just validated above are keyed by the pinned level.
+        level = self._filter_level
+        composite = self._ensure_filter()
+        composite.resync()  # same staleness handling run_removal's entry applies
+        maintainer = self._ensure_maintainer()
+
+        requested, graph_weights = prepare_removal_batch(graph, removed_with_weights)
+        if plan.num_shards == 1 and not self._single_shard_logged:
+            logger.info(
+                "sharded removal: plan holds a single shard — removal batches "
+                "run the global pipeline only (no per-shard drop stage)"
+            )
+            self._single_shard_logged = True
+
+        # Route the requested pairs per shard, remembering each pair's
+        # position so the per-shard outcomes stitch back into request order.
+        jobs: List[Tuple[ShardContext, List[Tuple[int, Edge]]]] = []
+        escrow_items: List[Tuple[int, Edge]] = []
+        shard_events = [0] * plan.num_shards
+        if requested:
+            us = np.fromiter((u for u, _ in requested), dtype=np.int64, count=len(requested))
+            vs = np.fromiter((v for _, v in requested), dtype=np.int64, count=len(requested))
+            shard_ids = plan.shard_of_pairs(us, vs).tolist()
+            routed: Dict[int, List[Tuple[int, Edge]]] = {}
+            for position, (pair, shard) in enumerate(zip(requested, shard_ids)):
+                routed.setdefault(shard, []).append((position, pair))
+            for shard, items in sorted(routed.items()):
+                if shard == ESCROW:
+                    escrow_items = items
+                else:
+                    shard_events[shard] = len(items)
+                    jobs.append((self._context_for(shard), items))
+        escrow_events = len(escrow_items)
+        populated = sum(1 for count in shard_events if count)
+        use_threads = config.use_shard_threads(len(requested), populated, os.cpu_count())
+
+        def run_stage(context: ShardContext, items: List[Tuple[int, Edge]]):
+            return run_removal_drop_stage(
+                sparsifier, setup, items, graph_weights,
+                similarity_filter=context.filter, config=config,
+                inflate=False,
+            )
+
+        # Escrow drains after the shard barrier, mirroring the insertion
+        # engine's discipline: its bucket slice is disjoint from every
+        # shard's, but keeping the shared-graph mutations of the cross-shard
+        # stage out of the concurrent region means correctness never rests
+        # on the GIL-atomicity of individual dict operations.
+        drop_timer = Timer().start()
+        if use_threads and len(jobs) > 1:
+            futures = [self._pool().submit(run_stage, context, items) for context, items in jobs]
+            stages = [future.result() for future in futures]
+        else:
+            stages = [run_stage(context, items) for context, items in jobs]
+        if escrow_items:
+            stages.append(run_stage(self._escrow, escrow_items))
+        drop_timer.stop()
+
+        result = ShardedRemovalResult(
+            requested=requested,
+            removed_from_sparsifier=[],
+            reconnection_edges=[],
+            filtering_level=level,
+        )
+        merge_drop_stages(result, stages)
+
+        # Post-barrier: rebuild-mode diameter inflation replayed in request
+        # order.  Inflation touches coarse clusters shared across shards (and
+        # the hierarchy's staleness counter), so it cannot run inside the
+        # concurrent stage; the same inflation factor per removal makes the
+        # replay bit-identical to the oracle's inline interleaving.
+        if maintainer is None:
+            inflated = 0
+            for u, v, _weight in result.removed_from_sparsifier:
+                inflated += setup.hierarchy.note_edge_removed(
+                    u, v, inflation_factor=config.removal_diameter_inflation
+                )
+            result.inflated_levels = inflated
+
+        if result.removed_from_sparsifier:
+            run_removal_repair_stages(
+                sparsifier, setup, result, graph=graph, config=config,
+                similarity_filter=composite, maintainer=maintainer,
+            )
+
+        result.shard_report = ShardBatchReport(
+            mode="threads" if use_threads and len(jobs) > 1 else "serial",
+            shard_events=shard_events,
+            escrow_events=escrow_events,
+            replans=self._replans,
+            adaptive_replans=self._adaptive_replans,
+            drop_seconds=drop_timer.elapsed,
+        )
+        timer.stop()
+        result.removal_seconds = timer.elapsed
+        self._observe_routing(shard_events, escrow_events)
         return result
 
     def _replay_maintenance(self, ordered: Sequence[Tuple[ShardContext, UpdateResult]],
@@ -822,9 +1244,9 @@ class ShardedSparsifier(InGrassSparsifier):
         composite = self._composite
         for _, _, edge in entries:
             # Resolve the owning context *per edge*: a replayed escrow merge
-            # can fuse partition-level clusters and trigger a mid-replay
-            # replan, after which the pre-replay contexts (and their stats)
-            # are retired — later edges must land on the live maintainers.
+            # can fuse filtering-level clusters across shards and trigger a
+            # mid-replay plan patch (node re-homing), after which a later
+            # edge's owning context may have changed.
             self._replan_if_stale()
             assert self._plan is not None
             context = self._context_for(self._plan.shard_of_edge(edge[0], edge[1]))

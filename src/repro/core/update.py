@@ -250,6 +250,124 @@ def run_update(sparsifier: Graph, setup: SetupResult, new_edges: Sequence[Weight
 # --------------------------------------------------------------------------- #
 # Deletion path (fully dynamic extension)
 # --------------------------------------------------------------------------- #
+def prepare_removal_batch(graph: Graph, removals: Sequence) -> Tuple[List[Edge], dict]:
+    """Canonicalise a removal batch and capture its physical graph weights.
+
+    Returns the deduplicated canonical pairs (the ``requested`` list every
+    removal record reports) and the ``(u, v) -> weight`` map of the weights
+    the edges had in the tracked graph before their removal (present only for
+    ``(u, v, w)`` triples).  Raises when a requested pair is still present in
+    ``graph`` — the deletions must be applied to the tracked graph first,
+    because it is the candidate pool for replacement edges.
+    """
+    requested = canonicalize_edge_pairs(removals)
+    graph_weights: dict[Edge, float] = {}
+    for item in removals:
+        if len(item) >= 3:
+            u, v = int(item[0]), int(item[1])
+            graph_weights[(u, v) if u <= v else (v, u)] = float(item[2])
+    for u, v in requested:
+        if graph.has_edge(u, v):
+            raise GraphValidationError(
+                f"removal ({u}, {v}) is still present in the tracked graph; "
+                "remove the edges from the graph before calling run_removal"
+            )
+    return requested, graph_weights
+
+
+@dataclass
+class RemovalStage1Result:
+    """Outcome of the drop stage of one removal (sub-)batch.
+
+    The entries carry the position of each edge in the canonical ``requested``
+    list of the whole batch, so the sharded driver — which runs one drop stage
+    per shard — can stitch the per-shard outcomes back into the exact record
+    the unsharded pipeline produces (lists in request order, weight sums
+    accumulated in request order).
+    """
+
+    #: ``(position, (u, v, carried_weight))`` for every edge the sparsifier
+    #: carried and dropped.
+    removed: List[Tuple[int, WeightedEdge]] = field(default_factory=list)
+    #: ``(position, excess_weight, reassigned)`` for every dropped edge that
+    #: had absorbed weight beyond its physical share.
+    excesses: List[Tuple[int, float, bool]] = field(default_factory=list)
+    #: Hierarchy levels whose cached diameters were inflated (``inflate`` only).
+    inflated_levels: int = 0
+
+
+def run_removal_drop_stage(sparsifier: Graph, setup: SetupResult,
+                           requested: Sequence[Tuple[int, Edge]],
+                           graph_weights: dict, *,
+                           similarity_filter, config: InGrassConfig,
+                           inflate: bool) -> RemovalStage1Result:
+    """Stage 1 of the removal pipeline: drop, invalidate, re-home.
+
+    For every ``(position, (u, v))`` pair the sparsifier carries: remove the
+    edge, discard it from the similarity filter's cluster-pair bucket, and
+    re-home any excess weight earlier merge/redistribute decisions parked on
+    it onto surviving support of the same cluster pair.  With ``inflate``
+    (rebuild mode) the cached cluster diameters containing both endpoints are
+    additionally stretched via
+    :meth:`~repro.core.hierarchy.ClusterHierarchy.note_edge_removed`.
+
+    Every mutation touches only state reachable through ``similarity_filter``
+    and the dropped edges' own cluster pairs, which is what lets the sharded
+    driver run one drop stage per shard (each against its
+    :class:`~repro.core.sharding.ShardScopedFilter` view) — concurrently for
+    intra-shard edges — and still reproduce the unsharded pipeline bit for
+    bit: operations of different shards touch disjoint buckets and disjoint
+    sparsifier edges, so any interleaving commutes.  Hierarchy inflation is
+    the one globally shared mutation, which is why the sharded driver passes
+    ``inflate=False`` here and replays the inflations post-barrier in request
+    order.
+    """
+    result = RemovalStage1Result()
+    for position, (u, v) in requested:
+        if not sparsifier.has_edge(u, v):
+            continue
+        weight = sparsifier.remove_edge(u, v)
+        similarity_filter.notify_edge_removed(u, v)
+        if inflate:
+            result.inflated_levels += setup.hierarchy.note_edge_removed(
+                u, v, inflation_factor=config.removal_diameter_inflation
+            )
+        result.removed.append((position, (u, v, weight)))
+        physical = graph_weights.get((u, v))
+        if physical is not None and weight > physical:
+            excess = weight - physical
+            reassigned = similarity_filter.reassign_weight(u, v, excess)
+            result.excesses.append((position, excess, reassigned))
+    return result
+
+
+def merge_drop_stages(result: RemovalResult,
+                      stages: Sequence[RemovalStage1Result]) -> None:
+    """Fold per-shard drop stages into ``result`` in request order.
+
+    Restores exactly the record the single-stage pipeline produces: the
+    ``removed_from_sparsifier`` list ordered by request position and the
+    reassigned/discarded weight sums accumulated in that same order (float
+    addition is not associative, so the summation order is part of the
+    bit-exactness contract).
+    """
+    removed = sorted((entry for stage in stages for entry in stage.removed),
+                     key=lambda item: item[0])
+    result.removed_from_sparsifier = [edge for _, edge in removed]
+    excesses = sorted((entry for stage in stages for entry in stage.excesses),
+                      key=lambda item: item[0])
+    reassigned = 0.0
+    discarded = 0.0
+    for _, excess, was_reassigned in excesses:
+        if was_reassigned:
+            reassigned += excess
+        else:
+            discarded += excess
+    result.reassigned_weight = reassigned
+    result.discarded_weight = discarded
+    result.inflated_levels = sum(stage.inflated_levels for stage in stages)
+
+
 @dataclass
 class RemovalResult:
     """Outcome of one edge-removal call against the sparsifier."""
@@ -359,22 +477,34 @@ def _reconnect_sparsifier(sparsifier: Graph, graph: Graph, setup: SetupResult,
     every surviving graph edge that crosses two components by estimated
     spectral distortion, and greedily admits edges — highest distortion first,
     one per component merge — until a single component remains.
+
+    The component structure comes from one vectorised sweep
+    (:func:`repro.graphs.components.connected_components`) and the crossing
+    candidates from one mask over the tracked graph's cached edge arrays, so
+    the per-batch cost is a few numpy passes over ``E``; only the greedy
+    admission loop — bounded by the component count, not the edge count —
+    stays in Python, as a union-find over the *components*.
     """
-    uf = UnionFind(sparsifier.num_nodes)
-    for u, v in sparsifier.edges():
-        uf.union(u, v)
-    if uf.num_sets <= 1:
+    from repro.graphs.components import connected_components
+
+    labels = connected_components(sparsifier)
+    num_components = int(labels.max()) + 1 if labels.size else 0
+    if num_components <= 1:
         return []
-    crossing = [(u, v, w) for u, v, w in graph.weighted_edges() if not uf.connected(u, v)]
-    if not crossing:
+    us, vs, ws = graph.edge_arrays()
+    crossing_mask = labels[us] != labels[vs]
+    if not crossing_mask.any():
         raise GraphValidationError(
             "sparsifier disconnected and the tracked graph offers no reconnecting edge "
             "(was the graph itself disconnected by the removals?)"
         )
+    crossing = list(zip(us[crossing_mask].tolist(), vs[crossing_mask].tolist(),
+                        ws[crossing_mask].tolist()))
     ranked = _rank_candidates(setup, crossing, config)
+    uf = UnionFind(num_components)
     added: List[WeightedEdge] = []
     for u, v, w in ranked:
-        if uf.union(u, v):
+        if uf.union(int(labels[u]), int(labels[v])):
             sparsifier.add_edge(u, v, w, merge="add")
             similarity_filter.notify_edge_added(u, v)
             added.append((u, v, w))
@@ -441,18 +571,7 @@ def run_removal(sparsifier: Graph, setup: SetupResult, removals: Sequence, *,
     """
     config = config if config is not None else InGrassConfig()
     timer = Timer().start()
-    requested = canonicalize_edge_pairs(removals)
-    graph_weights: dict[Edge, float] = {}
-    for item in removals:
-        if len(item) >= 3:
-            u, v = int(item[0]), int(item[1])
-            graph_weights[(u, v) if u <= v else (v, u)] = float(item[2])
-    for u, v in requested:
-        if graph.has_edge(u, v):
-            raise GraphValidationError(
-                f"removal ({u}, {v}) is still present in the tracked graph; "
-                "remove the edges from the graph before calling run_removal"
-            )
+    requested, graph_weights = prepare_removal_batch(graph, removals)
 
     level = _select_filtering_level(setup, config, target_condition_number)
     similarity_filter = _ensure_filter(sparsifier, setup, level, config, similarity_filter)
@@ -465,41 +584,43 @@ def run_removal(sparsifier: Graph, setup: SetupResult, removals: Sequence, *,
     # rebuild mode the affected cluster diameters are inflated here; in
     # maintain mode the clusters are spliced structurally after step 2, once
     # the sparsifier is reconnected.
-    removed_from_sparsifier: List[WeightedEdge] = []
-    inflated_levels = 0
-    reassigned = 0.0
-    discarded = 0.0
-    for u, v in requested:
-        if not sparsifier.has_edge(u, v):
-            continue
-        weight = sparsifier.remove_edge(u, v)
-        similarity_filter.notify_edge_removed(u, v)
-        if maintainer is None:
-            inflated_levels += setup.hierarchy.note_edge_removed(
-                u, v, inflation_factor=config.removal_diameter_inflation
-            )
-        removed_from_sparsifier.append((u, v, weight))
-        physical = graph_weights.get((u, v))
-        if physical is not None and weight > physical:
-            excess = weight - physical
-            if similarity_filter.reassign_weight(u, v, excess):
-                reassigned += excess
-            else:
-                discarded += excess
-
+    stage1 = run_removal_drop_stage(
+        sparsifier, setup, list(enumerate(requested)), graph_weights,
+        similarity_filter=similarity_filter, config=config,
+        inflate=maintainer is None,
+    )
     result = RemovalResult(
         requested=requested,
-        removed_from_sparsifier=removed_from_sparsifier,
+        removed_from_sparsifier=[],
         reconnection_edges=[],
-        inflated_levels=inflated_levels,
         filtering_level=level,
-        reassigned_weight=reassigned,
-        discarded_weight=discarded,
     )
-    if not removed_from_sparsifier:
+    merge_drop_stages(result, [stage1])
+    if not result.removed_from_sparsifier:
         timer.stop()
         result.removal_seconds = timer.elapsed
         return result
+
+    run_removal_repair_stages(sparsifier, setup, result, graph=graph, config=config,
+                              similarity_filter=similarity_filter, maintainer=maintainer)
+    timer.stop()
+    result.removal_seconds = timer.elapsed
+    return result
+
+
+def run_removal_repair_stages(sparsifier: Graph, setup: SetupResult, result: RemovalResult, *,
+                              graph: Graph, config: InGrassConfig,
+                              similarity_filter, maintainer: Optional[HierarchyMaintainer]) -> None:
+    """Global stages of the removal pipeline (steps 2, 2b and 3).
+
+    Everything here is inherently batch-global — union-find reconnection,
+    maintain-mode splices judged against the repaired structure, the
+    distortion-ranked repair pass with its batch-wide cap — so the sharded
+    driver runs it once, post-barrier, against the composite filter, in
+    exactly the order the unsharded pipeline uses.  Mutates ``result`` in
+    place (reconnection, splice and repair fields).
+    """
+    removed_from_sparsifier = result.removed_from_sparsifier
 
     # Step 2: reconnect if any removal split the sparsifier.
     result.reconnection_edges = _reconnect_sparsifier(sparsifier, graph, setup,
@@ -545,10 +666,6 @@ def run_removal(sparsifier: Graph, setup: SetupResult, removals: Sequence, *,
         if maintainer is not None and result.repair_edges:
             result.hierarchy_merges += maintainer.note_insertions(
                 result.repair_edges, similarity_filter=similarity_filter)
-
-    timer.stop()
-    result.removal_seconds = timer.elapsed
-    return result
 
 
 def run_kappa_guard(sparsifier: Graph, setup: SetupResult, *, graph: Graph,

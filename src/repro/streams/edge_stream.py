@@ -182,6 +182,32 @@ class MixedBatch:
             target(u, v).insertions.append((u, v, w))
         return shards, escrow
 
+    def routing_counts(self, node_shard: "np.ndarray") -> Tuple["np.ndarray", int]:
+        """Count how this batch's events would route under ``node_shard``.
+
+        Returns ``(per_shard_counts, escrow_count)`` over all three event
+        kinds.  Useful for benches and tests that want to reason about
+        escrow fractions without executing the batch.  Note that the live
+        :class:`~repro.core.sharding.ReplanPolicy` observes only the phases
+        the sharded engine routes per shard — deletions and insertions —
+        while this helper also counts weight-change events (which the driver
+        applies globally), so its totals can exceed the policy's.
+        """
+        node_shard = np.asarray(node_shard, dtype=np.int64)
+        num_shards = int(node_shard.max()) + 1 if node_shard.size else 1
+        counts = np.zeros(num_shards, dtype=np.int64)
+        escrow = 0
+        pairs = ([(u, v) for u, v in self.deletions]
+                 + [(u, v) for u, v, _ in self.weight_changes]
+                 + [(u, v) for u, v, _ in self.insertions])
+        for u, v in pairs:
+            su = int(node_shard[u])
+            if su == int(node_shard[v]):
+                counts[su] += 1
+            else:
+                escrow += 1
+        return counts, escrow
+
     @classmethod
     def from_events(cls, events: Sequence[StreamEvent]) -> "MixedBatch":
         """Bundle a flat event list into a batch (order within kind preserved).

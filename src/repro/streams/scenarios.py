@@ -254,21 +254,75 @@ class DynamicScenario:
                                          dense_limit=self.config.condition_dense_limit)
 
 
-def _simulate_dynamic_stream(graph: Graph, config: DynamicScenarioConfig,
-                             rng: np.random.Generator) -> List[MixedBatch]:
-    """Generate the event stream by simulating it on a scratch copy of ``graph``.
+def _tree_protected_sampler(graph: Graph, rng: np.random.Generator):
+    """Deletion sampler that protects one spanning tree of ``graph``.
 
-    Working on a live copy guarantees every deletion targets an edge that
-    still exists (possibly one inserted by an earlier batch) and never
-    disconnects the graph, and every insertion is genuinely new at the moment
-    it streams in.
+    Any set of *non-tree* edges can be removed — in any order, in bulk —
+    without disconnecting the graph, because the protected tree keeps
+    spanning it.  That turns deletion sampling into O(1) swap-pops from a
+    candidate pool instead of one connectivity sweep per pick, which is what
+    makes 10⁵-event stream generation feasible (the Tarjan-validated
+    :func:`~repro.streams.edge_stream.removable_edges` path costs minutes at
+    that scale).  The trade-off: tree edges of the *initial* graph are never
+    deleted, so the stream models off-tree churn (new straps added and
+    removed) rather than backbone rewiring.
+
+    Returns ``(sample, register)``: ``sample(k)`` pops up to ``k`` deletable
+    pairs, ``register(edges)`` adds freshly inserted edges to the pool.
     """
-    num_events = int(round((config.final_offtree_density - config.initial_offtree_density)
-                           * graph.num_nodes))
-    num_events = max(num_events, config.num_iterations)
+    import scipy.sparse.csgraph as csgraph
+
+    tree = csgraph.minimum_spanning_tree(graph.adjacency_matrix()).tocoo()
+    protected = {(int(u), int(v)) if u <= v else (int(v), int(u))
+                 for u, v in zip(tree.row, tree.col)}
+    pool: List[Edge] = [edge for edge in graph.edges() if edge not in protected]
+
+    def sample(count: int) -> List[Edge]:
+        chosen: List[Edge] = []
+        for _ in range(min(count, len(pool))):
+            index = int(rng.integers(0, len(pool)))
+            pool[index], pool[-1] = pool[-1], pool[index]
+            chosen.append(pool.pop())
+        return chosen
+
+    def register(edges: List[WeightedEdge]) -> None:
+        pool.extend((u, v) for u, v, _ in edges)
+
+    return sample, register
+
+
+def simulate_event_stream(graph: Graph, num_events: int, num_batches: int, *,
+                          deletion_fraction: float = 0.35,
+                          long_range_fraction: float = 0.15,
+                          locality_hops: int = 2,
+                          protect_spanning_tree: bool = False,
+                          seed: SeedLike = None) -> List[MixedBatch]:
+    """Generate a mixed insert/delete stream with an explicit event budget.
+
+    The building block behind :func:`build_dynamic_scenario`, exposed for
+    benchmarks that size their stream in events rather than in off-tree
+    density deltas (the sharded-removal gate and the nightly soak stream
+    10⁴–10⁵ events over arbitrarily many batches).  The stream is simulated
+    on a scratch copy of ``graph``, which guarantees every deletion targets
+    an edge that still exists (possibly one inserted by an earlier batch) and
+    never disconnects the graph, and every insertion is genuinely new at the
+    moment it streams in.
+
+    With ``protect_spanning_tree`` the deletions are drawn uniformly from the
+    non-tree edges of the evolving graph (O(1) per pick, see
+    :func:`_tree_protected_sampler`); the default runs the Tarjan-validated
+    :func:`~repro.streams.edge_stream.removable_edges` sampler, which can
+    also delete backbone edges but pays a connectivity check per pick.
+    """
+    check_positive_int(num_batches, "num_batches")
+    check_probability(deletion_fraction, "deletion_fraction")
+    rng = as_rng(seed)
     # Near-equal split of the event budget over the iterations.
-    boundaries = np.linspace(0, num_events, config.num_iterations + 1).astype(int)
+    boundaries = np.linspace(0, max(int(num_events), 0), num_batches + 1).astype(int)
     working = graph.copy()
+    sample_deletions = register_insertions = None
+    if protect_spanning_tree:
+        sample_deletions, register_insertions = _tree_protected_sampler(working, rng)
     batches: List[MixedBatch] = []
     deletion_debt = 0.0  # carries fractional deletion quota across batches
     for start, end in zip(boundaries[:-1], boundaries[1:]):
@@ -276,9 +330,12 @@ def _simulate_dynamic_stream(graph: Graph, config: DynamicScenarioConfig,
         if size <= 0:
             batches.append(MixedBatch())
             continue
-        deletion_debt += config.deletion_fraction * size
+        deletion_debt += deletion_fraction * size
         num_deletions = min(int(deletion_debt), size)
-        deletions = removable_edges(working, num_deletions, seed=rng)
+        if sample_deletions is not None:
+            deletions = sample_deletions(num_deletions)
+        else:
+            deletions = removable_edges(working, num_deletions, seed=rng)
         # Only count what was actually deletable: when the graph runs low on
         # cycle edges the shortfall stays owed, so later batches (enriched by
         # fresh insertions) can catch the realised fraction back up.
@@ -287,12 +344,29 @@ def _simulate_dynamic_stream(graph: Graph, config: DynamicScenarioConfig,
             working.remove_edge(u, v)
         num_insertions = size - len(deletions)
         insertions = (mixed_edges(working, num_insertions,
-                                  long_range_fraction=config.long_range_fraction,
-                                  hops=config.locality_hops, seed=rng)
+                                  long_range_fraction=long_range_fraction,
+                                  hops=locality_hops, seed=rng)
                       if num_insertions else [])
         working.add_edges(insertions, merge="add")
+        if register_insertions is not None:
+            register_insertions(insertions)
         batches.append(MixedBatch(insertions=insertions, deletions=deletions))
     return batches
+
+
+def _simulate_dynamic_stream(graph: Graph, config: DynamicScenarioConfig,
+                             rng: np.random.Generator) -> List[MixedBatch]:
+    """Generate the density-accounted event stream of a dynamic scenario."""
+    num_events = int(round((config.final_offtree_density - config.initial_offtree_density)
+                           * graph.num_nodes))
+    num_events = max(num_events, config.num_iterations)
+    return simulate_event_stream(
+        graph, num_events, config.num_iterations,
+        deletion_fraction=config.deletion_fraction,
+        long_range_fraction=config.long_range_fraction,
+        locality_hops=config.locality_hops,
+        seed=rng,
+    )
 
 
 def build_dynamic_scenario(graph: Graph, config: Optional[DynamicScenarioConfig] = None,

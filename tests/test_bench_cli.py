@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
-from repro.bench import table1, table2, table3, figure4
+from repro.bench import figure4, gate, shard_removal, soak, table1, table2, table3
 from repro.bench.figure4 import ascii_log_chart
 from repro.bench.records import Figure4Record, Table1Record, Table2Record, Table3Record
 
@@ -90,3 +92,120 @@ class TestCliMains:
         out = capsys.readouterr().out
         assert "Figure 4" in out
         assert "#" in out
+
+
+class TestGateRunner:
+    def test_list_registers_all_gates(self, capsys):
+        assert gate.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("batch", "churn-maintenance", "shard", "sharded-removal"):
+            assert name in out
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(SystemExit):
+            gate.main(["--only", "nope"])
+
+    def test_check_only_missing_artifact_fails(self, tmp_path, capsys):
+        summary_path = tmp_path / "summary.json"
+        code = gate.main(["--only", "batch", "--check-only",
+                          "--artifacts-dir", str(tmp_path),
+                          "--summary", str(summary_path)])
+        assert code == 1
+        summary = json.loads(summary_path.read_text())
+        assert summary["gates"]["batch"]["status"] == "missing-artifact"
+
+    def test_check_only_passes_on_existing_artifact(self, tmp_path):
+        # A payload consistent with the committed baseline passes the check
+        # phase without re-running the benchmark.
+        baseline = json.loads(gate.GATES[0].baseline.read_text())
+        entries = baseline["entries"]
+        payload = {"results": [
+            {"batch_size": int(size),
+             "vectorized_per_edge_us": values["vectorized_per_edge_us"],
+             "scalar_per_edge_us": values["scalar_per_edge_us"],
+             "edge_sets_match": True}
+            for size, values in entries.items()
+        ]}
+        (tmp_path / "BENCH_batch.json").write_text(json.dumps(payload))
+        summary_path = tmp_path / "summary.json"
+        code = gate.main(["--only", "batch", "--check-only",
+                          "--artifacts-dir", str(tmp_path),
+                          "--summary", str(summary_path)])
+        assert code == 0
+        summary = json.loads(summary_path.read_text())
+        assert summary["gates"]["batch"]["status"] == "pass"
+
+
+class TestShardRemovalGate:
+    def _payload(self, **overrides):
+        rows = []
+        for mode, shards in (("oracle", 1), ("shards2-serial", 2), ("shards2-threads", 2)):
+            rows.append({
+                "mode": mode, "num_shards": shards,
+                "pipeline_seconds": 1.0, "engine_seconds": 0.2,
+                "edge_sets_match": True, "weights_match": True, "history_match": True,
+            })
+        payload = {
+            "meta": {"cpu_count": 4, "shards": 2},
+            "results": rows,
+            "overhead_serial_sharding": 1.0,
+            "engine_speedup_threads": 1.5,
+        }
+        payload.update(overrides)
+        return payload
+
+    def test_passes_clean_payload(self):
+        assert shard_removal.check_gate(self._payload(), None) == []
+
+    def test_parity_violation_fails(self):
+        payload = self._payload()
+        payload["results"][2]["weights_match"] = False
+        failures = shard_removal.check_gate(payload, None)
+        assert any("weights" in failure for failure in failures)
+
+    def test_overhead_violation_fails(self):
+        failures = shard_removal.check_gate(
+            self._payload(overhead_serial_sharding=1.5), None)
+        assert any("overhead" in failure for failure in failures)
+
+    def test_speedup_enforced_on_multicore_only(self, capsys):
+        slow = self._payload(engine_speedup_threads=1.0)
+        failures = shard_removal.check_gate(slow, None)
+        assert any("engine region" in failure for failure in failures)
+        slow["meta"]["cpu_count"] = 1
+        assert shard_removal.check_gate(slow, None) == []
+        assert "deferred" in capsys.readouterr().out
+
+    def test_ratio_regression_against_multicore_baseline(self):
+        baseline = {"cpu_count": 4, "oracle_engine_seconds": 0.2,
+                    "threads_engine_seconds": 0.1}
+        # Measured ratio 1.0 vs baseline ratio 0.5: worse than 35% tolerance.
+        failures = shard_removal.check_gate(
+            self._payload(engine_speedup_threads=1.2), baseline)
+        assert any("ratio" in failure for failure in failures)
+
+
+@pytest.mark.slow
+class TestSoakAndRemovalMains:
+    """Tiny end-to-end runs of the new CLIs (CI-speed parameters)."""
+
+    def test_shard_removal_main(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_removal.json"
+        code = shard_removal.main([
+            "--events", "600", "--batches", "2", "--scale", "small",
+            "--repeats", "1", "--output", str(output),
+        ])
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert all(row["edge_sets_match"] and row["weights_match"]
+                   and row["history_match"] for row in payload["results"])
+
+    def test_soak_main(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_soak.json"
+        code = soak.main([
+            "--batches", "6", "--events", "400", "--shards", "2",
+            "--scale", "small", "--output", str(output),
+        ])
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert all(payload["acceptance"].values())

@@ -21,7 +21,13 @@ from repro.core import InGrassConfig, LRDConfig
 from repro.core.filtering import SimilarityFilter
 from repro.core.incremental import InGrassSparsifier
 from repro.core.setup import run_setup
-from repro.core.sharding import ESCROW, ShardedSparsifier, ShardPlan
+from repro.core.sharding import (
+    ESCROW,
+    ReplanPolicy,
+    ShardedRemovalResult,
+    ShardedSparsifier,
+    ShardPlan,
+)
 from repro.core.update import run_kappa_guard, run_removal
 from repro.graphs.generators import grid_circuit_2d
 from repro.sparsify.grass import GrassConfig, GrassSparsifier
@@ -320,6 +326,343 @@ class TestShardParity:
         assert dict(driver.sparsifier._edges) == dict(oracle.sparsifier._edges)
         assert sorted(decisions, key=repr) == sorted(oracle_decisions, key=repr)
         assert history_fingerprint(driver) == history_fingerprint(oracle)
+
+
+# --------------------------------------------------------------------------- #
+# Sharded removal pipeline (deletion-heavy, splice-triggering streams)
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def deletion_heavy_scenario():
+    """A stream where most events delete edges — exercising the sharded drop
+    stage, weight re-homing and (in maintain mode) cluster splices."""
+    graph = grid_circuit_2d(13, seed=3)
+    return build_dynamic_scenario(
+        graph,
+        DynamicScenarioConfig(
+            initial_offtree_density=0.10, final_offtree_density=0.45,
+            num_iterations=6, deletion_fraction=0.6,
+            condition_dense_limit=DENSE_LIMIT, seed=2,
+        ),
+    )
+
+
+class TestShardedRemoval:
+    @pytest.fixture(scope="class")
+    def oracles(self, deletion_heavy_scenario):
+        outcomes = {}
+        for hierarchy_mode in ("rebuild", "maintain"):
+            config = make_config(hierarchy_mode=hierarchy_mode, kappa_guard_factor=1.8)
+            outcomes[hierarchy_mode] = run_stream(deletion_heavy_scenario, config)
+        return outcomes
+
+    @pytest.mark.parametrize("hierarchy_mode", ["rebuild", "maintain"])
+    @pytest.mark.parametrize("num_shards,shard_mode",
+                             [(2, "serial"), (4, "serial"), (2, "threads"), (3, "threads")])
+    def test_deletion_heavy_parity(self, deletion_heavy_scenario, oracles,
+                                   hierarchy_mode, num_shards, shard_mode):
+        """Bit-exact oracle parity on deletion-heavy mixed streams."""
+        oracle, oracle_decisions, oracle_kappa = oracles[hierarchy_mode]
+        config = make_config(num_shards=num_shards, shard_mode=shard_mode,
+                             hierarchy_mode=hierarchy_mode, kappa_guard_factor=1.8)
+        driver, decisions, kappa = run_stream(deletion_heavy_scenario, config)
+        assert dict(driver.sparsifier._edges) == dict(oracle.sparsifier._edges)
+        assert sorted(decisions, key=repr) == sorted(oracle_decisions, key=repr)
+        assert history_fingerprint(driver) == history_fingerprint(oracle)
+        assert kappa == oracle_kappa
+        if hierarchy_mode == "maintain":
+            # The stream must actually exercise the splice path for this
+            # parity statement to mean anything.
+            assert driver.maintenance_stats.splices > 0
+
+    def test_pure_deletion_batch_routes_per_shard(self, deletion_heavy_scenario):
+        """``remove()`` reports per-shard routing; every pair lands somewhere."""
+        driver = ShardedSparsifier(make_config(num_shards=2))
+        driver.setup(deletion_heavy_scenario.graph,
+                     deletion_heavy_scenario.initial_sparsifier,
+                     target_condition_number=deletion_heavy_scenario.initial_condition_number)
+        deletions = deletion_heavy_scenario.batches[0].deletions
+        assert deletions, "scenario batch must carry deletions"
+        result = driver.remove(deletions)
+        assert isinstance(result, ShardedRemovalResult)
+        report = result.shard_report
+        assert report is not None
+        assert len(report.shard_events) == driver.num_shards
+        assert sum(report.shard_events) + report.escrow_events == len(result.requested)
+
+    def test_threaded_removal_stage_matches_serial(self, deletion_heavy_scenario):
+        """Forcing the drop stage onto the thread pool changes nothing."""
+        outcomes = []
+        for shard_mode in ("serial", "threads"):
+            driver = ShardedSparsifier(make_config(num_shards=3, shard_mode=shard_mode,
+                                                   hierarchy_mode="maintain"))
+            driver.setup(deletion_heavy_scenario.graph,
+                         deletion_heavy_scenario.initial_sparsifier,
+                         target_condition_number=deletion_heavy_scenario.initial_condition_number)
+            for batch in deletion_heavy_scenario.batches:
+                driver.update(batch)
+            outcomes.append(dict(driver.sparsifier._edges))
+        assert outcomes[0] == outcomes[1]
+
+    def test_removal_weight_rehoming_matches_oracle(self, deletion_heavy_scenario):
+        """Reassigned/discarded weight sums are reconstructed in request order."""
+        oracle = InGrassSparsifier(make_config())
+        sharded = ShardedSparsifier(make_config(num_shards=3))
+        results = []
+        for driver in (oracle, sharded):
+            driver.setup(deletion_heavy_scenario.graph,
+                         deletion_heavy_scenario.initial_sparsifier,
+                         target_condition_number=deletion_heavy_scenario.initial_condition_number)
+            # Build up merge-absorbed weight first, then delete.
+            driver.update(deletion_heavy_scenario.batches[0].insertions)
+            results.append(driver.remove(deletion_heavy_scenario.batches[0].deletions))
+        assert results[1].removed_from_sparsifier == results[0].removed_from_sparsifier
+        assert results[1].reassigned_weight == results[0].reassigned_weight
+        assert results[1].discarded_weight == results[0].discarded_weight
+        assert results[1].inflated_levels == results[0].inflated_levels
+
+
+class TestFilteringLevelPinning:
+    """The filtering level is a setup-time choice, frozen per setup epoch.
+
+    Maintain-mode splices change cluster sizes, which would drift the
+    level-for-target selection mid-stream; a drifted level silently orphans
+    every level-keyed structure (the filter map, the shard plan), so the
+    driver pins the first resolution (regression test for the divergence the
+    soak found at seed 244).
+    """
+
+    def test_level_stays_pinned_under_splices(self, deletion_heavy_scenario):
+        driver = InGrassSparsifier(make_config(hierarchy_mode="maintain"))
+        driver.setup(deletion_heavy_scenario.graph,
+                     deletion_heavy_scenario.initial_sparsifier,
+                     target_condition_number=deletion_heavy_scenario.initial_condition_number)
+        pinned = driver._resolved_config().filtering_level
+        assert pinned is not None
+        filter_object = driver._ensure_filter()
+        for batch in deletion_heavy_scenario.batches:
+            driver.update(batch)
+        assert driver.maintenance_stats.splices > 0
+        assert driver._resolved_config().filtering_level == pinned
+        # The persistent filter was never silently replaced by a throwaway
+        # rebuilt at a drifted level.
+        assert driver._ensure_filter() is filter_object
+        assert all(record.filtering_level == pinned for record in driver.history)
+
+    def test_refresh_setup_repins(self, deletion_heavy_scenario):
+        driver = InGrassSparsifier(make_config(hierarchy_mode="maintain"))
+        driver.setup(deletion_heavy_scenario.graph,
+                     deletion_heavy_scenario.initial_sparsifier,
+                     target_condition_number=deletion_heavy_scenario.initial_condition_number)
+        first = driver._resolved_config()
+        driver.refresh_setup()
+        # A fresh hierarchy gets a fresh resolution (possibly the same level,
+        # but never the stale pinned config object).
+        assert driver._pinned_config is None
+        assert driver._resolved_config().filtering_level is not None
+        assert first.filtering_level is not None
+
+    def test_sharded_views_tile_fresh_reference_after_churn(self, deletion_heavy_scenario):
+        """After a full churn stream the scoped views' buckets must equal a
+        fresh scan of the final sparsifier (content-wise) — the invariant
+        that makes maintained views interchangeable with rebuilt ones."""
+        driver = ShardedSparsifier(make_config(num_shards=3, hierarchy_mode="maintain"))
+        driver.setup(deletion_heavy_scenario.graph,
+                     deletion_heavy_scenario.initial_sparsifier,
+                     target_condition_number=deletion_heavy_scenario.initial_condition_number)
+        for batch in deletion_heavy_scenario.batches:
+            driver.update(batch)
+        views = [context.filter for context in driver.contexts] + [driver.escrow.filter]
+        merged_connectivity = {}
+        merged_intra = {}
+        for view in views:
+            for pair, bucket in view._connectivity.items():
+                if bucket:
+                    merged_connectivity.setdefault(pair, set()).update(bucket)
+            for cluster, bucket in view._intra_cluster_edges.items():
+                if bucket:
+                    merged_intra.setdefault(cluster, set()).update(bucket)
+        reference = SimilarityFilter(driver.sparsifier, driver.setup_result.hierarchy,
+                                     views[0].filtering_level)
+        assert merged_connectivity == {pair: set(bucket) for pair, bucket
+                                       in reference._connectivity.items() if bucket}
+        assert merged_intra == {cluster: set(bucket) for cluster, bucket
+                                in reference._intra_cluster_edges.items() if bucket}
+
+
+# --------------------------------------------------------------------------- #
+# Adaptive replanning
+# --------------------------------------------------------------------------- #
+class TestReplanPolicy:
+    def test_observe_accumulates(self):
+        policy = ReplanPolicy(escrow_fraction=0.5, imbalance=2.0, min_events=10,
+                              shard_events=[0, 0])
+        policy.observe([3, 1], 2)
+        policy.observe([0, 4], 0)
+        assert policy.events == 10
+        assert policy.escrow_events == 2
+        assert policy.shard_events == [3, 5]
+
+    def test_escrow_fraction_arithmetic(self):
+        policy = ReplanPolicy(escrow_fraction=0.25, min_events=4, shard_events=[0, 0])
+        policy.observe([2, 1], 1)
+        assert policy.realised_escrow_fraction() == pytest.approx(0.25)
+        # Strictly-greater trigger: exactly at the threshold does not fire.
+        assert policy.should_replan() is None
+        policy.observe([0, 0], 1)
+        assert policy.realised_escrow_fraction() == pytest.approx(0.4)
+        assert "escrow fraction" in policy.should_replan()
+
+    def test_imbalance_arithmetic(self):
+        policy = ReplanPolicy(imbalance=1.5, min_events=1, shard_events=[0, 0])
+        policy.observe([3, 1], 0)
+        # Busiest shard holds 3 of 4 intra events -> 0.75 / 0.5 = 1.5x.
+        assert policy.realised_imbalance() == pytest.approx(1.5)
+        assert policy.should_replan() is None  # strictly greater
+        policy.observe([2, 0], 0)
+        assert policy.realised_imbalance() == pytest.approx(5 / 6 * 2)
+        assert "imbalance" in policy.should_replan()
+
+    def test_min_events_gates_triggers(self):
+        policy = ReplanPolicy(escrow_fraction=0.1, min_events=100, shard_events=[0, 0])
+        policy.observe([1, 0], 50)
+        assert policy.realised_escrow_fraction() > 0.9
+        assert policy.should_replan() is None
+        policy.observe([25, 25], 0)
+        assert policy.should_replan() is not None
+
+    def test_disabled_policy_never_fires(self):
+        policy = ReplanPolicy(min_events=1, shard_events=[0, 0])
+        assert not policy.enabled
+        policy.observe([0, 0], 1000)
+        assert policy.should_replan() is None
+
+    def test_degenerate_counts(self):
+        policy = ReplanPolicy(escrow_fraction=0.5, imbalance=2.0, min_events=1,
+                              shard_events=[0, 0])
+        assert policy.realised_escrow_fraction() == 0.0
+        assert policy.realised_imbalance() == 1.0
+        single = ReplanPolicy(imbalance=1.0, min_events=1, shard_events=[0])
+        single.observe([7], 0)
+        assert single.realised_imbalance() == 1.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            InGrassConfig(replan_escrow_fraction=0.0)
+        with pytest.raises(ValueError):
+            InGrassConfig(replan_escrow_fraction=1.5)
+        with pytest.raises(ValueError):
+            InGrassConfig(replan_imbalance=0.5)
+        with pytest.raises(ValueError):
+            InGrassConfig(replan_min_events=0)
+        InGrassConfig(replan_escrow_fraction=0.5, replan_imbalance=2.0)
+
+
+class TestAdaptiveReplans:
+    def _adaptive_config(self, num_shards, shard_mode="serial", **kwargs):
+        # Thresholds tuned to fire on essentially any realised escrow traffic,
+        # so the short test streams replan several times.
+        return make_config(num_shards=num_shards, shard_mode=shard_mode,
+                           hierarchy_mode="maintain",
+                           replan_escrow_fraction=0.01, replan_min_events=1,
+                           **kwargs)
+
+    @pytest.mark.parametrize("num_shards,shard_mode", [(3, "serial"), (2, "threads")])
+    def test_replans_preserve_oracle_guarantee(self, churn_scenario, num_shards, shard_mode):
+        oracle_cfg = make_config(hierarchy_mode="maintain", kappa_guard_factor=1.8)
+        oracle, oracle_decisions, oracle_kappa = run_stream(churn_scenario, oracle_cfg)
+        config = self._adaptive_config(num_shards, shard_mode, kappa_guard_factor=1.8)
+        driver, decisions, kappa = run_stream(churn_scenario, config)
+        assert driver.adaptive_replans > 0, "test stream must actually trigger replans"
+        assert dict(driver.sparsifier._edges) == dict(oracle.sparsifier._edges)
+        assert sorted(decisions, key=repr) == sorted(oracle_decisions, key=repr)
+        assert history_fingerprint(driver) == history_fingerprint(oracle)
+        assert kappa == oracle_kappa
+
+    def test_rederived_plan_keeps_whole_cluster_invariant(self, churn_scenario):
+        driver = ShardedSparsifier(self._adaptive_config(3))
+        driver.setup(churn_scenario.graph, churn_scenario.initial_sparsifier,
+                     target_condition_number=churn_scenario.initial_condition_number)
+        filter_level = driver._filter_level
+        for batch in churn_scenario.batches:
+            driver.update(batch)
+            plan = driver.plan
+            hierarchy = driver.setup_result.hierarchy
+            # The invariant carrying the oracle guarantee: no filtering-level
+            # cluster straddles shards — whether the plan was freshly
+            # re-derived (adaptive replan) or locally patched after a
+            # cross-shard fusion.
+            assert plan.is_consistent(hierarchy, filter_level)
+            labels = hierarchy.level(filter_level).labels
+            for cluster in np.unique(labels):
+                members = np.flatnonzero(labels == cluster)
+                assert len(set(plan.node_shard[members].tolist())) == 1
+        assert driver.adaptive_replans > 0
+        # A freshly re-derived plan additionally packs whole partition-level
+        # clusters (the stronger invariant the Fiedler sweep starts from).
+        fresh = ShardPlan.from_hierarchy(driver.setup_result.hierarchy, 3,
+                                         min_level=filter_level,
+                                         sparsifier=driver.graph)
+        assert fresh.is_consistent(driver.setup_result.hierarchy)
+
+    def test_backoff_doubles_arming_threshold(self, churn_scenario):
+        """Each adaptive replan doubles the next policy's min_events."""
+        driver = ShardedSparsifier(self._adaptive_config(3))
+        driver.setup(churn_scenario.graph, churn_scenario.initial_sparsifier,
+                     target_condition_number=churn_scenario.initial_condition_number)
+        driver.plan  # materialise contexts + policy
+        assert driver.replan_policy.min_events == 1
+        driver._adaptive_replan("test trigger")
+        assert driver.replan_policy.min_events == 2
+        driver._adaptive_replan("test trigger")
+        assert driver.replan_policy.min_events == 4
+        assert driver.adaptive_replans == 2
+        # A fresh setup resets the back-off.
+        driver.setup(churn_scenario.graph, churn_scenario.initial_sparsifier,
+                     target_condition_number=churn_scenario.initial_condition_number)
+        driver.plan
+        assert driver.replan_policy.min_events == 1
+
+    def test_replans_counted_and_reported(self, churn_scenario):
+        driver = ShardedSparsifier(self._adaptive_config(3))
+        driver.setup(churn_scenario.graph, churn_scenario.initial_sparsifier,
+                     target_condition_number=churn_scenario.initial_condition_number)
+        result = driver.update(churn_scenario.batches[0])
+        report = (result.insertion.shard_report if result.insertion is not None
+                  else result.removal.shard_report)
+        assert report is not None
+        assert report.adaptive_replans <= driver.adaptive_replans
+        assert driver.replans >= driver.adaptive_replans
+
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           num_shards=st.integers(min_value=2, max_value=4))
+    def test_property_adaptive_replan_invariance(self, seed, num_shards):
+        """Adaptive replans never change decisions, edges, weights or κ."""
+        graph = grid_circuit_2d(9, seed=5)
+        scenario = build_dynamic_scenario(
+            graph,
+            DynamicScenarioConfig(
+                initial_offtree_density=0.12, final_offtree_density=0.45,
+                num_iterations=3, deletion_fraction=0.45,
+                condition_dense_limit=DENSE_LIMIT, seed=seed,
+            ),
+        )
+        oracle_cfg = make_config(hierarchy_mode="maintain", kappa_guard_factor=1.8)
+        shard_cfg = make_config(num_shards=num_shards, hierarchy_mode="maintain",
+                                kappa_guard_factor=1.8,
+                                replan_escrow_fraction=0.05, replan_imbalance=1.2,
+                                replan_min_events=1)
+        oracle, oracle_decisions, oracle_kappa = run_stream(scenario, oracle_cfg)
+        driver, decisions, kappa = run_stream(scenario, shard_cfg)
+        assert dict(driver.sparsifier._edges) == dict(oracle.sparsifier._edges)
+        assert sorted(decisions, key=repr) == sorted(oracle_decisions, key=repr)
+        assert history_fingerprint(driver) == history_fingerprint(oracle)
+        assert kappa == oracle_kappa
+        # The invariant the driver maintains across replans and patches:
+        # filtering-level purity (a patched plan may legitimately leave
+        # partition-level clusters straddling shards).
+        assert driver.plan.is_consistent(driver.setup_result.hierarchy,
+                                         driver._filter_level)
 
 
 # --------------------------------------------------------------------------- #
