@@ -15,10 +15,17 @@ from __future__ import annotations
 
 import argparse
 
-from repro import InGrassConfig, InGrassSparsifier, relative_condition_number
-from repro.graphs import fe_mesh_2d
-from repro.sparsify import GrassConfig, GrassSparsifier, offtree_density
-from repro.streams import mixed_edges, split_into_batches
+from repro.api import (
+    GrassConfig,
+    GrassSparsifier,
+    InGrassConfig,
+    InGrassSparsifier,
+    fe_mesh_2d,
+    mixed_edges,
+    offtree_density,
+    relative_condition_number,
+    split_into_batches,
+)
 
 
 def main() -> None:

@@ -26,10 +26,16 @@ from __future__ import annotations
 
 import argparse
 
-from repro.core import InGrassConfig, InGrassSparsifier, LRDConfig
-from repro.graphs import grid_circuit_3d, is_connected
-from repro.sparsify import offtree_density
-from repro.streams import DynamicScenarioConfig, build_dynamic_scenario
+from repro.api import (
+    DynamicScenarioConfig,
+    InGrassConfig,
+    InGrassSparsifier,
+    LRDConfig,
+    build_dynamic_scenario,
+    grid_circuit_3d,
+    is_connected,
+    offtree_density,
+)
 
 DENSE_LIMIT = 500
 

@@ -17,11 +17,18 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import InGrassConfig, InGrassSparsifier, relative_condition_number
-from repro.graphs import grid_circuit_2d
-from repro.sparsify import GrassConfig, GrassSparsifier
-from repro.spectral import PCGSolver, conjugate_gradient, jacobi_preconditioner
-from repro.streams import mixed_edges
+from repro.api import (
+    GrassConfig,
+    GrassSparsifier,
+    InGrassConfig,
+    InGrassSparsifier,
+    PCGSolver,
+    conjugate_gradient,
+    grid_circuit_2d,
+    jacobi_preconditioner,
+    mixed_edges,
+    relative_condition_number,
+)
 
 
 def iteration_count(graph, preconditioner_graph, b):

@@ -13,7 +13,10 @@ The package is organised as:
 * :mod:`repro.streams` — edge-insertion streams and experiment scenarios;
 * :mod:`repro.bench` — the harness regenerating the paper's tables/figures.
 
-The most common entry points are re-exported here.
+The most common entry points are re-exported here; the curated application
+surface (service, snapshots, solvers, scenarios — everything downstream code
+needs) lives in :mod:`repro.api`, and ``python -m repro`` is the console
+entry point (see :mod:`repro.cli`).
 """
 
 from repro.core import (
@@ -28,7 +31,9 @@ from repro.core import (
     run_setup,
     run_update,
 )
-from repro.graphs import Graph
+from repro.graphs import FrozenGraph, FrozenGraphError, Graph
+from repro.service import SparsifierService
+from repro.snapshot import SparsifierSnapshot
 from repro.sparsify import (
     GrassConfig,
     GrassSparsifier,
@@ -50,6 +55,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Graph",
+    "FrozenGraph",
+    "FrozenGraphError",
+    "SparsifierService",
+    "SparsifierSnapshot",
     "InGrassConfig",
     "InGrassSparsifier",
     "LRDConfig",

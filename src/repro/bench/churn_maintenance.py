@@ -279,4 +279,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI entry
+    from repro.cli import warn_legacy_invocation
+
+    warn_legacy_invocation("repro.bench.churn_maintenance", "bench churn-maintenance")
     raise SystemExit(main())

@@ -64,4 +64,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI entry
+    from repro.cli import warn_legacy_invocation
+
+    warn_legacy_invocation("repro.bench.table2", "bench table2")
     raise SystemExit(main())

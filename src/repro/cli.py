@@ -1,0 +1,216 @@
+"""The unified ``repro`` command-line entry point.
+
+One console command (``python -m repro`` / the ``repro`` script) replaces the
+grab-bag of ``python -m repro.bench.<module>`` invocations::
+
+    python -m repro bench gate --no-check          # unified CI gate runner
+    python -m repro bench churn --quick            # churn benchmark
+    python -m repro bench shard                    # shard speedup gate
+    python -m repro bench soak --output soak.json  # nightly soak
+    python -m repro serve-demo                     # concurrent-read service demo
+    python -m repro bench --list                   # every registered bench
+
+The legacy module paths keep working (each emits a ``DeprecationWarning``
+pointing at its new spelling, then runs with identical output).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import warnings
+from typing import Callable, Dict, List, Optional
+
+#: Registry of bench subcommands → lazily imported module ``main`` functions.
+#: Names mirror the legacy module names (underscores become dashes).
+_BENCH_MODULES: Dict[str, str] = {
+    "gate": "repro.bench.gate",
+    "churn": "repro.bench.churn",
+    "shard": "repro.bench.shard",
+    "soak": "repro.bench.soak",
+    "batch": "repro.bench.batch",
+    "baseline": "repro.bench.baseline",
+    "churn-maintenance": "repro.bench.churn_maintenance",
+    "shard-removal": "repro.bench.shard_removal",
+    "table1": "repro.bench.table1",
+    "table2": "repro.bench.table2",
+    "table3": "repro.bench.table3",
+    "figure4": "repro.bench.figure4",
+}
+
+
+def warn_legacy_invocation(module: str, subcommand: str) -> None:
+    """Emit the deprecation warning for a legacy ``python -m <module>`` run.
+
+    Called from each bench module's ``__main__`` guard, so the warning is
+    raised *in* ``__main__`` and therefore shown by the default warning
+    filter; output on stdout is unchanged.
+    """
+    warnings.warn(
+        f"`python -m {module}` is deprecated; use `python -m repro {subcommand}` "
+        "(same flags, same output)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+
+
+def _bench_main(name: str) -> Callable[[Optional[List[str]]], int]:
+    """Resolve (lazily import) the ``main`` of one registered bench module."""
+    import importlib
+
+    return importlib.import_module(_BENCH_MODULES[name]).main
+
+
+def _run_bench(argv: List[str]) -> int:
+    if argv and argv[0] in ("--list", "list"):
+        width = max(len(name) for name in _BENCH_MODULES)
+        for name in sorted(_BENCH_MODULES):
+            print(f"{name.ljust(width)}  -> {_BENCH_MODULES[name]}")
+        return 0
+    if not argv or argv[0].startswith("-"):
+        print("usage: repro bench <name> [args...]   (repro bench --list shows names)",
+              file=sys.stderr)
+        return 2
+    name, rest = argv[0], argv[1:]
+    if name not in _BENCH_MODULES:
+        known = ", ".join(sorted(_BENCH_MODULES))
+        print(f"unknown bench {name!r}; known: {known}", file=sys.stderr)
+        return 2
+    return int(_bench_main(name)(rest) or 0)
+
+
+# --------------------------------------------------------------------------- #
+# serve-demo: the concurrent-read service in action
+# --------------------------------------------------------------------------- #
+def _run_serve_demo(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve-demo",
+        description="Drive a SparsifierService with churn while reader threads "
+                    "query epoch snapshots; prints per-reader latency stats.")
+    parser.add_argument("--side", type=int, default=20,
+                        help="grid side length of the demo graph (default 20 -> 400 nodes)")
+    parser.add_argument("--batches", type=int, default=20,
+                        help="number of mixed churn batches to stream (default 20)")
+    parser.add_argument("--readers", type=int, default=4,
+                        help="concurrent reader threads (default 4)")
+    parser.add_argument("--deletion-fraction", type=float, default=0.3,
+                        help="share of events that delete edges (default 0.3)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    import threading
+    import time
+
+    import numpy as np
+
+    from repro.api import (
+        DynamicScenarioConfig,
+        InGrassConfig,
+        SparsifierService,
+        build_churn_scenario,
+        grid_circuit_2d,
+    )
+
+    graph = grid_circuit_2d(args.side, seed=args.seed)
+    scenario = build_churn_scenario(
+        graph,
+        DynamicScenarioConfig(num_iterations=args.batches,
+                              deletion_fraction=args.deletion_fraction,
+                              seed=args.seed),
+    )
+    service = SparsifierService(InGrassConfig(seed=args.seed))
+    service.setup(scenario.graph, scenario.initial_sparsifier,
+                  target_condition_number=scenario.initial_condition_number)
+    print(f"serving: {graph.num_nodes} nodes, {graph.num_edges} edges, "
+          f"{len(scenario.batches)} churn batches, {args.readers} readers")
+
+    stop = threading.Event()
+    stats_lock = threading.Lock()
+    reader_stats: List[dict] = []
+
+    def reader(reader_id: int) -> None:
+        rng = np.random.default_rng(args.seed + 1000 + reader_id)
+        latencies: List[float] = []
+        queries = 0
+        versions = set()
+        while not stop.is_set():
+            begin = time.perf_counter()
+            snap = service.snapshot()
+            u, v = rng.choice(snap.num_nodes, size=2, replace=False)
+            snap.effective_resistance(int(u), int(v))
+            latencies.append(time.perf_counter() - begin)
+            queries += 1
+            versions.add(snap.version)
+        with stats_lock:
+            reader_stats.append(
+                {"reader": reader_id, "queries": queries, "epochs": len(versions),
+                 "latencies": latencies})
+
+    threads = [threading.Thread(target=reader, args=(i,), daemon=True)
+               for i in range(args.readers)]
+    for thread in threads:
+        thread.start()
+
+    write_begin = time.perf_counter()
+    for index, batch in enumerate(scenario.batches, start=1):
+        service.apply(batch)
+        if index % max(1, len(scenario.batches) // 5) == 0:
+            snap = service.snapshot()
+            print(f"  batch {index:3d}/{len(scenario.batches)}: version {snap.version}, "
+                  f"|E_H| = {snap.num_sparsifier_edges}")
+    write_seconds = time.perf_counter() - write_begin
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=30.0)
+
+    print(f"writer: {len(scenario.batches)} batches in {write_seconds:.2f}s "
+          f"(final version {service.latest_version})")
+    total_queries = 0
+    for stats in sorted(reader_stats, key=lambda s: s["reader"]):
+        lat = np.asarray(stats["latencies"]) * 1e3
+        total_queries += stats["queries"]
+        if lat.size:
+            print(f"reader {stats['reader']}: {stats['queries']} queries over "
+                  f"{stats['epochs']} epochs, p50 {np.percentile(lat, 50):.2f} ms, "
+                  f"p99 {np.percentile(lat, 99):.2f} ms")
+    print(f"total: {total_queries} concurrent queries, zero locks held during reads")
+    final = service.snapshot()
+    print(f"final epoch {final.version}: kappa = {final.condition_number():.2f}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+def main(argv: Optional[List[str]] = None) -> int:
+    """The ``repro`` console entry point."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="inGRASS incremental spectral sparsification toolkit",
+        epilog="run `repro bench --list` for the registered benchmarks")
+    parser.add_argument("--version", action="store_true", help="print the package version")
+    sub = parser.add_subparsers(dest="command")
+    bench = sub.add_parser("bench", help="benchmarks and CI gates",
+                           add_help=False)
+    bench.add_argument("rest", nargs=argparse.REMAINDER)
+    demo = sub.add_parser("serve-demo", help="concurrent-read service demo",
+                          add_help=False)
+    demo.add_argument("rest", nargs=argparse.REMAINDER)
+
+    # `repro bench gate --no-check` must forward `--no-check` untouched, so
+    # anything after the subcommand name bypasses the top-level parser.
+    if argv and argv[0] == "bench":
+        return _run_bench(argv[1:])
+    if argv and argv[0] == "serve-demo":
+        return _run_serve_demo(argv[1:])
+    args = parser.parse_args(argv)
+    if args.version:
+        from repro import __version__
+
+        print(__version__)
+        return 0
+    parser.print_help()
+    return 0 if not argv else 2
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution
+    raise SystemExit(main())

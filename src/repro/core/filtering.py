@@ -264,6 +264,21 @@ class SimilarityFilter:
         """The sparsifier being maintained."""
         return self._sparsifier
 
+    def state_summary(self) -> dict:
+        """Plain-dict summary of the filter's live state (for snapshots).
+
+        The returned dict is detached from the filter (safe to hold across
+        writer mutations) and cheap to build: counts only, no edge copies.
+        """
+        return {
+            "filtering_level": self._level_index,
+            "cluster_pairs": len(self._connectivity),
+            "intra_cluster_buckets": len(self._intra_cluster_edges),
+            "registered_edges": (sum(len(b) for b in self._connectivity.values())
+                                 + sum(len(b) for b in self._intra_cluster_edges.values())),
+            "synced_labels_version": self._synced_labels_version,
+        }
+
     def _cluster_pair(self, p: int, q: int) -> ClusterPair:
         cp, cq = int(self._labels[p]), int(self._labels[q])
         return (cp, cq) if cp <= cq else (cq, cp)

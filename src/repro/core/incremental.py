@@ -157,19 +157,35 @@ class InGrassSparsifier:
         self._total_update_seconds = 0.0
         self._full_resetups = 0
         self._resetup_seconds = 0.0
+        # Version epoch: bumped once per mutating public operation (setup,
+        # update/apply_batch, remove, reweight, refresh_setup).  The anchor
+        # the snapshot read layer keys on.
+        self._version = 0
 
     # ------------------------------------------------------------------ #
     # State access
     # ------------------------------------------------------------------ #
     @property
     def graph(self) -> Graph:
-        """The tracked original graph ``G(k)`` (including streamed edges)."""
+        """The tracked original graph ``G(k)`` (including streamed edges).
+
+        .. warning:: This is the **live** object the update pipeline mutates
+           in place — not a copy.  Mutating it behind the driver's back (or
+           reading it from another thread mid-update) corrupts the engine's
+           invariants.  For read-only access — especially concurrent access —
+           go through :meth:`snapshot`, whose graphs are immutable views.
+        """
         self._require_setup()
         return self._graph  # type: ignore[return-value]
 
     @property
     def sparsifier(self) -> Graph:
-        """The current sparsifier ``H(k)``."""
+        """The current sparsifier ``H(k)``.
+
+        .. warning:: Live object, same contract as :attr:`graph`: never
+           mutate it directly, and use :meth:`snapshot` for concurrent or
+           read-only access.
+        """
         self._require_setup()
         return self._sparsifier  # type: ignore[return-value]
 
@@ -221,6 +237,35 @@ class InGrassSparsifier:
     def resetup_seconds(self) -> float:
         """Accumulated wall-clock cost of full setup refreshes."""
         return self._resetup_seconds
+
+    @property
+    def latest_version(self) -> int:
+        """The current version epoch.
+
+        Starts at 0, becomes 1 after :meth:`setup` and then increases by
+        exactly one per mutating public call (:meth:`update` /
+        :meth:`apply_batch`, :meth:`remove`, :meth:`reweight`) plus one for
+        every :meth:`refresh_setup` — including the automatic rebuild-mode
+        re-setups, which keeps the version sequence deterministic for a given
+        operation stream.  :class:`~repro.snapshot.SparsifierSnapshot` anchors
+        on this counter.
+        """
+        return self._version
+
+    def _bump_version(self) -> None:
+        self._version += 1
+
+    def snapshot(self) -> "SparsifierSnapshot":
+        """Capture the current state as an immutable, queryable snapshot.
+
+        O(1) amortised and copy-free (see
+        :class:`~repro.snapshot.SparsifierSnapshot`).  Not safe to call
+        concurrently with a mutating call on this driver — serialise capture
+        against writes, as :class:`repro.service.SparsifierService` does.
+        """
+        from repro.snapshot import SparsifierSnapshot
+
+        return SparsifierSnapshot.capture(self)
 
     @property
     def maintainer(self) -> Optional[HierarchyMaintainer]:
@@ -309,6 +354,7 @@ class InGrassSparsifier:
         elif self.config.filtering_level is None:
             # Derive the target from the measured initial quality.
             self._target_condition = relative_condition_number(self._graph, self._sparsifier)
+        self._bump_version()
         return self._setup
 
     # ------------------------------------------------------------------ #
@@ -518,6 +564,7 @@ class InGrassSparsifier:
         self._record_iteration(streamed=len(new_edges), removed=0, repairs=repairs,
                                insertion=result, removal=None,
                                seconds=seconds)
+        self._bump_version()
         return result
 
     def remove(self, deletions: Iterable[Edge]) -> RemovalResult:
@@ -533,6 +580,7 @@ class InGrassSparsifier:
                                repairs=result.num_repairs,
                                insertion=None, removal=result,
                                seconds=seconds)
+        self._bump_version()
         return result
 
     def reweight(self, changes: Iterable[WeightedEdge]) -> ReweightResult:
@@ -552,6 +600,7 @@ class InGrassSparsifier:
                                insertion=None, removal=None,
                                seconds=result.reweight_seconds,
                                reweighted=len(result.applied))
+        self._bump_version()
         return result
 
     def apply_batch(self, batch: MixedBatch) -> MixedUpdateResult:
@@ -576,6 +625,7 @@ class InGrassSparsifier:
             insertion=insertion, removal=removal, seconds=result.seconds,
             reweighted=len(batch.weight_changes),
         )
+        self._bump_version()
         return result
 
     def update_many(self, batches: Sequence[UpdateBatch]) -> List[Union[UpdateResult, MixedUpdateResult]]:
@@ -601,6 +651,7 @@ class InGrassSparsifier:
         self._pinned_config = None
         self._full_resetups += 1
         self._resetup_seconds += timer.elapsed
+        self._bump_version()
         return self._setup
 
     # ------------------------------------------------------------------ #

@@ -498,6 +498,19 @@ class CompositeSimilarityFilter:
         """The (shared) sparsifier being maintained."""
         return self._driver._filter_views()[0].sparsifier
 
+    def state_summary(self) -> dict:
+        """Aggregate the per-shard view summaries into one global summary."""
+        views = self._driver._filter_views()
+        summaries = [view.state_summary() for view in views]
+        return {
+            "filtering_level": summaries[0]["filtering_level"],
+            "cluster_pairs": sum(s["cluster_pairs"] for s in summaries),
+            "intra_cluster_buckets": sum(s["intra_cluster_buckets"] for s in summaries),
+            "registered_edges": sum(s["registered_edges"] for s in summaries),
+            "synced_labels_version": summaries[0]["synced_labels_version"],
+            "num_shards": len(views),
+        }
+
     # -- SimilarityFilter protocol -------------------------------------- #
     def notify_edge_added(self, u: int, v: int) -> None:
         self._owner(u, v).notify_edge_added(u, v)

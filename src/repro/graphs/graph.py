@@ -16,7 +16,7 @@ update engine flat for 10⁵-edge streams.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -561,3 +561,94 @@ class Graph:
 
     def __hash__(self) -> int:  # Graphs are mutable; identity hash.
         return id(self)
+
+
+class FrozenGraphError(RuntimeError):
+    """Raised when a mutating operation is attempted on a :class:`FrozenGraph`."""
+
+
+class FrozenGraph(Graph):
+    """An immutable :class:`Graph` view, as handed out by snapshots.
+
+    Every mutating method raises :class:`FrozenGraphError`; all queries,
+    array/matrix views and spectral algebra behave exactly like the mutable
+    graph they were captured from.  :meth:`copy` is the escape hatch — it
+    returns a plain mutable :class:`Graph` with the same edges, leaving the
+    frozen view (and the writer it was captured from) untouched.
+    """
+
+    _MUTATION_ERROR = ("this graph is a frozen snapshot view; call .copy() for a "
+                       "mutable Graph instead of mutating the snapshot")
+
+    @classmethod
+    def from_arrays(cls, num_nodes: int, us: np.ndarray, vs: np.ndarray,
+                    ws: np.ndarray) -> "FrozenGraph":
+        """Build a frozen graph from canonical parallel edge arrays.
+
+        ``us``/``vs`` must already be canonically oriented (``u <= v``) and
+        duplicate-free — exactly what :meth:`Graph.edge_arrays` returns — and
+        the arrays are adopted as the frozen graph's cached views without a
+        copy, so construction shares the caller's buffers.
+        """
+        frozen = cls(num_nodes)
+        edge_map = frozen._edges
+        adjacency = frozen._adjacency
+        for u, v, w in zip(us.tolist(), vs.tolist(), ws.tolist()):
+            edge_map[(u, v)] = w
+            adjacency[u][v] = w
+            adjacency[v][u] = w
+        for array in (us, vs, ws):
+            array.flags.writeable = False
+        frozen._arrays_cache = (us, vs, ws)
+        return frozen
+
+    def __init__(self, num_nodes: int, edges: Optional[Iterable[WeightedEdge]] = None) -> None:
+        # Populate through the mutable base class, then freeze.
+        self._frozen = False
+        super().__init__(num_nodes, edges)
+        self._frozen = True
+
+    def _refuse_mutation(self) -> None:
+        if getattr(self, "_frozen", False):
+            raise FrozenGraphError(self._MUTATION_ERROR)
+
+    # Every mutator funnels through one of these entry points.
+    def add_edge(self, u: int, v: int, weight: float = 1.0, merge: str = "add") -> None:
+        self._refuse_mutation()
+        super().add_edge(u, v, weight, merge)
+
+    def add_edges(self, edges: Iterable[WeightedEdge], merge: str = "add") -> None:
+        self._refuse_mutation()
+        super().add_edges(edges, merge)
+
+    def add_edge_unchecked(self, u: int, v: int, weight: float) -> None:
+        self._refuse_mutation()
+        super().add_edge_unchecked(u, v, weight)
+
+    def remove_edge(self, u: int, v: int) -> float:
+        self._refuse_mutation()
+        return super().remove_edge(u, v)
+
+    def remove_edges(self, pairs: Iterable[Edge]) -> List[WeightedEdge]:
+        self._refuse_mutation()
+        return super().remove_edges(pairs)
+
+    def set_weight(self, u: int, v: int, weight: float) -> None:
+        self._refuse_mutation()
+        super().set_weight(u, v, weight)
+
+    def increase_weights(self, pairs: Sequence[Edge], deltas: np.ndarray) -> None:
+        self._refuse_mutation()
+        super().increase_weights(pairs, deltas)
+
+    # scale_weight / increase_weight delegate to set_weight and are covered.
+
+    def copy(self) -> Graph:
+        """Return a *mutable* :class:`Graph` copy (the thaw operation)."""
+        clone = Graph(self._num_nodes)
+        clone._edges = dict(self._edges)
+        clone._adjacency = [dict(adj) for adj in self._adjacency]
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FrozenGraph(num_nodes={self._num_nodes}, num_edges={self.num_edges})"

@@ -1,0 +1,282 @@
+"""Epoch snapshots of a live sparsifier — the versioned read path.
+
+A production deployment serves *queries* — effective-resistance lookups, PCG
+solves preconditioned by the current sparsifier, κ introspection —
+concurrently with the write stream of updates.  :class:`SparsifierSnapshot`
+is the mechanism: an immutable view of an
+:class:`~repro.core.incremental.InGrassSparsifier` captured at one version
+epoch.
+
+Capture is O(1) and copy-free on the hot path:
+
+* the tracked graph and the sparsifier are captured as their cached
+  canonical edge arrays (:meth:`repro.graphs.graph.Graph.edge_arrays`).
+  Those arrays are **immutable by construction** — the graph never writes
+  them in place, it rebuilds fresh arrays after a mutation — so holding a
+  reference *is* a copy-on-write share: the writer's next mutation leaves
+  the snapshot's buffers untouched;
+* the LRD hierarchy state (embedding labels, cluster diameters) is exported
+  through :meth:`repro.core.hierarchy.ClusterHierarchy.export_state`, whose
+  copy-on-write contract makes the live hierarchy detach onto fresh buffers
+  before its first post-snapshot mutation;
+* the similarity-filter state is summarised into a plain dict (counts only).
+
+Everything heavier — the :class:`~repro.graphs.graph.FrozenGraph`
+materialisation, Laplacian factorisations, the PCG solver — is built lazily
+on first query, per snapshot, under a snapshot-local lock.  Readers therefore
+never hold a lock that the update pipeline contends on.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import InGrassConfig
+from repro.core.hierarchy import HierarchyStateSnapshot
+from repro.graphs.graph import FrozenGraph
+from repro.sparsify.metrics import SparsifierReport, evaluate_sparsifier
+from repro.spectral.condition import relative_condition_number
+from repro.spectral.solvers import GroundedSolver, PCGSolver, SolveReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.incremental import InGrassSparsifier
+
+EdgeArrays = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+class SparsifierSnapshot:
+    """An immutable, queryable view of a sparsifier at one version epoch.
+
+    Build one through :meth:`InGrassSparsifier.snapshot` (or, preferably,
+    :meth:`repro.service.SparsifierService.snapshot`, which adds caching and
+    bounded retention).  All queries are thread-safe and run against the
+    captured epoch — the writer may keep mutating concurrently without
+    affecting any answer this snapshot returns.
+    """
+
+    def __init__(self, *, version: int, num_nodes: int,
+                 graph_arrays: EdgeArrays, sparsifier_arrays: EdgeArrays,
+                 hierarchy_state: HierarchyStateSnapshot,
+                 filter_summary: Optional[dict],
+                 config: InGrassConfig,
+                 target_condition_number: Optional[float]) -> None:
+        self._version = int(version)
+        self._num_nodes = int(num_nodes)
+        self._graph_arrays = graph_arrays
+        self._sparsifier_arrays = sparsifier_arrays
+        self._hierarchy_state = hierarchy_state
+        self._filter_summary = dict(filter_summary) if filter_summary is not None else None
+        self._config = config
+        self._target_condition = target_condition_number
+        # Lazily materialised heavy artifacts, guarded by a snapshot-local
+        # lock (readers of the *same* snapshot serialise on first build only).
+        # Re-entrant: building one artifact (the PCG solver) materialises
+        # others (the frozen graphs) under the same lock.
+        self._lock = threading.RLock()
+        self._graph: Optional[FrozenGraph] = None
+        self._sparsifier: Optional[FrozenGraph] = None
+        self._solvers: dict = {}
+        self._pcg: Optional[PCGSolver] = None
+
+    # ------------------------------------------------------------------ #
+    # Capture
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def capture(cls, driver: "InGrassSparsifier") -> "SparsifierSnapshot":
+        """Capture the driver's current state as a snapshot — O(1) amortised.
+
+        The only non-constant term is materialising the graphs' cached edge
+        arrays when the writer just mutated (one O(m) pass the writer would
+        pay anyway on its next spectral operation); no adjacency dict, CSR
+        matrix or numpy buffer is deep-copied.
+
+        Not safe to run concurrently with a mutating call on ``driver`` —
+        serialise capture against writes, as
+        :class:`repro.service.SparsifierService` does.
+        """
+        driver._require_setup()
+        setup = driver._setup
+        assert setup is not None
+        graph = driver._graph
+        sparsifier = driver._sparsifier
+        assert graph is not None and sparsifier is not None
+        similarity_filter = driver._filter
+        summary = None
+        if similarity_filter is not None:
+            state_summary = getattr(similarity_filter, "state_summary", None)
+            if state_summary is not None:
+                summary = state_summary()
+        return cls(
+            version=driver.latest_version,
+            num_nodes=graph.num_nodes,
+            graph_arrays=graph.edge_arrays(),
+            sparsifier_arrays=sparsifier.edge_arrays(),
+            hierarchy_state=setup.hierarchy.export_state(),
+            filter_summary=summary,
+            config=driver._resolved_config(),
+            target_condition_number=driver.target_condition_number,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Identity / raw state
+    # ------------------------------------------------------------------ #
+    @property
+    def version(self) -> int:
+        """The writer's version epoch this snapshot was captured at."""
+        return self._version
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def num_graph_edges(self) -> int:
+        return int(self._graph_arrays[0].shape[0])
+
+    @property
+    def num_sparsifier_edges(self) -> int:
+        return int(self._sparsifier_arrays[0].shape[0])
+
+    @property
+    def hierarchy_state(self) -> HierarchyStateSnapshot:
+        """The captured LRD hierarchy state (labels + diameters, read-only)."""
+        return self._hierarchy_state
+
+    @property
+    def filter_summary(self) -> Optional[dict]:
+        """Similarity-filter state summary at capture (``None`` before the
+        first update built the filter)."""
+        return dict(self._filter_summary) if self._filter_summary is not None else None
+
+    @property
+    def filtering_level(self) -> Optional[int]:
+        """The pinned similarity filtering level of the captured epoch."""
+        return self._config.filtering_level
+
+    @property
+    def target_condition_number(self) -> Optional[float]:
+        return self._target_condition
+
+    def graph_arrays(self) -> EdgeArrays:
+        """Canonical ``(u, v, w)`` arrays of the tracked graph (read-only)."""
+        return self._graph_arrays
+
+    def sparsifier_arrays(self) -> EdgeArrays:
+        """Canonical ``(u, v, w)`` arrays of the sparsifier (read-only)."""
+        return self._sparsifier_arrays
+
+    # ------------------------------------------------------------------ #
+    # Materialised graph views
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> FrozenGraph:
+        """The tracked graph ``G`` at this epoch, as an immutable graph.
+
+        Materialised once per snapshot on first access; mutating it raises
+        :class:`~repro.graphs.graph.FrozenGraphError` (use ``.copy()`` for a
+        mutable clone).
+        """
+        if self._graph is None:
+            with self._lock:
+                if self._graph is None:
+                    us, vs, ws = self._graph_arrays
+                    self._graph = FrozenGraph.from_arrays(self._num_nodes, us, vs, ws)
+        return self._graph
+
+    @property
+    def sparsifier(self) -> FrozenGraph:
+        """The sparsifier ``H`` at this epoch, as an immutable graph."""
+        if self._sparsifier is None:
+            with self._lock:
+                if self._sparsifier is None:
+                    us, vs, ws = self._sparsifier_arrays
+                    self._sparsifier = FrozenGraph.from_arrays(self._num_nodes, us, vs, ws)
+        return self._sparsifier
+
+    def _solver(self, which: str) -> GroundedSolver:
+        solver = self._solvers.get(which)
+        if solver is None:
+            target = self.sparsifier if which == "sparsifier" else self.graph
+            with self._lock:
+                solver = self._solvers.get(which)
+                if solver is None:
+                    solver = GroundedSolver.from_graph(target)
+                    self._solvers[which] = solver
+        return solver
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def effective_resistance(self, u: int, v: int, *, on: str = "sparsifier") -> float:
+        """Effective resistance between ``u`` and ``v`` at this epoch.
+
+        ``on`` selects the graph: ``"sparsifier"`` (default — the cheap
+        production lookup against ``H``) or ``"graph"`` (exact, against the
+        full tracked graph ``G``).  The underlying Laplacian factorisation is
+        built once per snapshot and reused across queries and threads.
+        """
+        if on not in ("sparsifier", "graph"):
+            raise ValueError(f"unknown target {on!r}; expected 'sparsifier' or 'graph'")
+        u, v = int(u), int(v)
+        if u == v:
+            return 0.0
+        for node in (u, v):
+            if node < 0 or node >= self._num_nodes:
+                raise ValueError(f"node {node} outside 0..{self._num_nodes - 1}")
+        b = np.zeros(self._num_nodes)
+        b[u] = 1.0
+        b[v] = -1.0
+        x = self._solver(on).solve(b)
+        return float(x[u] - x[v])
+
+    def solve(self, b: np.ndarray, *, preconditioned: bool = True,
+              tol: float = 1e-8, max_iterations: Optional[int] = None) -> SolveReport:
+        """Solve ``L_G x = b`` by PCG, preconditioned by this epoch's sparsifier.
+
+        The classic downstream application: the sparsifier Laplacian is
+        factorised once per snapshot and reused for every solve.  Pass
+        ``preconditioned=False`` for the plain-CG baseline.
+        """
+        if not preconditioned:
+            return PCGSolver(self.graph, None, tol=tol, max_iterations=max_iterations).solve(b)
+        if tol != 1e-8 or max_iterations is not None:
+            # Non-default solve parameters: build a throwaway solver (one
+            # fresh factorisation) rather than poisoning the shared cache.
+            return PCGSolver(self.graph, self.sparsifier,
+                             tol=tol, max_iterations=max_iterations).solve(b)
+        if self._pcg is None:
+            with self._lock:
+                if self._pcg is None:
+                    self._pcg = PCGSolver(self.graph, self.sparsifier)
+        return self._pcg.solve(b)
+
+    def condition_number(self, *, dense_limit: int = 1500) -> float:
+        """κ(L_G, L_H) of the captured epoch."""
+        return relative_condition_number(self.graph, self.sparsifier, dense_limit=dense_limit)
+
+    def report(self, *, compute_condition: bool = True, dense_limit: int = 1500) -> SparsifierReport:
+        """Full quality report of the captured epoch."""
+        return evaluate_sparsifier(self.graph, self.sparsifier,
+                                   compute_condition=compute_condition, dense_limit=dense_limit)
+
+    def describe(self) -> dict:
+        """Cheap JSON-ready summary (no solver is built)."""
+        return {
+            "version": self._version,
+            "num_nodes": self._num_nodes,
+            "graph_edges": self.num_graph_edges,
+            "sparsifier_edges": self.num_sparsifier_edges,
+            "filtering_level": self.filtering_level,
+            "target_condition_number": self._target_condition,
+            "hierarchy_version": self._hierarchy_state.version,
+            "hierarchy_labels_version": self._hierarchy_state.labels_version,
+            "num_levels": self._hierarchy_state.num_levels,
+            "filter": self.filter_summary,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SparsifierSnapshot(version={self._version}, nodes={self._num_nodes}, "
+                f"|E_G|={self.num_graph_edges}, |E_H|={self.num_sparsifier_edges})")

@@ -1,0 +1,97 @@
+"""Tests for the ``repro.api`` facade and the unified ``repro`` CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+import repro.api as api
+from repro import cli
+from repro.core.incremental import InGrassSparsifier
+from repro.core.sharding import ShardedSparsifier
+
+
+class TestApiFacade:
+    def test_all_names_resolve(self):
+        for name in api.__all__:
+            assert hasattr(api, name), f"repro.api.__all__ lists missing {name}"
+
+    def test_top_level_package_exports_service_layer(self):
+        for name in ("SparsifierService", "SparsifierSnapshot",
+                     "FrozenGraph", "FrozenGraphError"):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
+            assert getattr(repro, name) is getattr(api, name)
+
+    def test_factory_routes_on_config(self):
+        assert type(api.Sparsifier(None)) is InGrassSparsifier
+        assert type(api.Sparsifier(api.InGrassConfig())) is InGrassSparsifier
+        sharded = api.Sparsifier(api.InGrassConfig(num_shards=2))
+        assert isinstance(sharded, ShardedSparsifier)
+
+    def test_facade_is_importable_in_one_line(self):
+        # The documented quickstart import must keep working verbatim.
+        from repro.api import (  # noqa: F401
+            InGrassConfig,
+            Sparsifier,
+            SparsifierService,
+            SparsifierSnapshot,
+        )
+
+
+class TestUnifiedCli:
+    def test_bench_list(self, capsys):
+        assert cli.main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("gate", "churn", "shard", "soak"):
+            assert name in out
+
+    def test_bench_registry_covers_every_bench_module(self):
+        import pathlib
+
+        import repro.bench as bench
+
+        bench_dir = pathlib.Path(bench.__file__).parent
+        runnable = set()
+        for module in bench_dir.glob("*.py"):
+            if module.name.startswith("_"):
+                continue
+            if 'if __name__ == "__main__"' in module.read_text():
+                runnable.add(f"repro.bench.{module.stem}")
+        assert runnable == set(cli._BENCH_MODULES.values())
+
+    def test_bench_requires_a_name(self, capsys):
+        assert cli.main(["bench"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_bench_rejects_unknown_name(self, capsys):
+        assert cli.main(["bench", "nonsense"]) == 2
+        assert "unknown bench" in capsys.readouterr().err
+
+    def test_bench_gate_list_dispatches(self, capsys):
+        assert cli.main(["bench", "gate", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "artifact" in out  # gate's own --list output, forwarded intact
+
+    def test_version_flag(self, capsys):
+        assert cli.main(["--version"]) == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_no_args_prints_help(self, capsys):
+        assert cli.main([]) == 0
+        assert "serve-demo" in capsys.readouterr().out
+
+    def test_serve_demo_smoke(self, capsys):
+        code = cli.main(["serve-demo", "--side", "6", "--batches", "3",
+                         "--readers", "2", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "concurrent queries" in out
+        assert "final epoch" in out
+
+    def test_legacy_shim_warns_with_pointer(self):
+        with pytest.warns(DeprecationWarning, match="python -m repro bench gate"):
+            cli.warn_legacy_invocation("repro.bench.gate", "bench gate")
+
+    def test_module_entry_point_exists(self):
+        import repro.__main__  # noqa: F401  (must import without running)
