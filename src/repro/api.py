@@ -33,6 +33,15 @@ from repro.core.config import InGrassConfig, LRDConfig
 from repro.core.incremental import InGrassSparsifier, IterationRecord, MixedUpdateResult
 from repro.core.sharding import ShardedSparsifier, ShardPlan
 
+# -- persistence ------------------------------------------------------------
+from repro.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    describe_checkpoint,
+    is_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+
 # -- service + snapshots (read path) ----------------------------------------
 from repro.service import SparsifierService
 from repro.snapshot import SparsifierSnapshot
@@ -109,6 +118,12 @@ __all__ = [
     "ShardPlan",
     "IterationRecord",
     "MixedUpdateResult",
+    # persistence
+    "save_checkpoint",
+    "load_checkpoint",
+    "describe_checkpoint",
+    "is_checkpoint",
+    "CHECKPOINT_FORMAT_VERSION",
     # service / snapshots
     "SparsifierService",
     "SparsifierSnapshot",

@@ -37,7 +37,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.bench import baseline as batch_baseline
-from repro.bench import churn_maintenance, shard, shard_removal
+from repro.bench import churn_maintenance, shard, shard_processes, shard_removal
 from repro.bench.batch import run_batch_bench
 
 
@@ -87,6 +87,14 @@ def _check_shard_removal(payload: Dict, base: Optional[Dict],
     return shard_removal.check_gate(payload, base, **kwargs)
 
 
+def _check_shard_processes(payload: Dict, base: Optional[Dict],
+                           tolerance: Optional[float]) -> List[str]:
+    kwargs = {}
+    if tolerance is not None:
+        kwargs["regression_tolerance"] = tolerance
+    return shard_processes.check_gate(payload, base, **kwargs)
+
+
 #: Registered gates, in CI execution order.
 GATES: List[GateSpec] = [
     GateSpec(
@@ -123,6 +131,15 @@ GATES: List[GateSpec] = [
         baseline=shard_removal.DEFAULT_BASELINE_PATH,
         run=lambda: shard_removal.run_removal_bench(),
         check=_check_shard_removal,
+    ),
+    GateSpec(
+        name="shard-processes",
+        description="worker-process shard executor (oracle parity, mid-stream "
+                    "kill/restore drill, speedup on multi-core hosts)",
+        artifact="BENCH_shard_processes.json",
+        baseline=shard_processes.DEFAULT_BASELINE_PATH,
+        run=lambda: shard_processes.run_processes_bench(),
+        check=_check_shard_processes,
     ),
 ]
 

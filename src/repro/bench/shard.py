@@ -78,7 +78,7 @@ LONG_RANGE_FRACTION = 0.10
 DISTORTION_THRESHOLD = 1.0
 
 
-def _engine_config(seed: int, num_shards: int, shard_mode: str) -> InGrassConfig:
+def _engine_config(seed: int, num_shards: int, executor: str) -> InGrassConfig:
     """The perf-tuned engine configuration shared by every execution."""
     return InGrassConfig(
         lrd=LRDConfig(seed=seed),
@@ -86,7 +86,7 @@ def _engine_config(seed: int, num_shards: int, shard_mode: str) -> InGrassConfig
         decision_records="arrays",
         distortion_threshold=DISTORTION_THRESHOLD,
         num_shards=num_shards,
-        shard_mode=shard_mode,
+        executor=executor,
         shard_batch_threshold=0,
         seed=seed,
     )
@@ -152,14 +152,14 @@ def run_shard_bench(*, events: int = 100_000, shards: int = 2, case: str = "g2_c
     assert working is not None and result is not None
     edge_sets["serial"] = dict(working._edges)
     rows.append({
-        "mode": "serial", "num_shards": 1, "shard_mode": "serial",
+        "mode": "serial", "num_shards": 1, "executor": "serial",
         "seconds": best, "per_event_us": best / events * 1e6,
         "added": result.summary.added, "escrow_events": 0, "replans": 0,
     })
 
     # --- sharded executions: same engine boundary via run_insertion_engine.
-    for shard_mode in ("serial", "threads"):
-        config = _engine_config(seed, shards, shard_mode)
+    for executor in ("serial", "threads"):
+        config = _engine_config(seed, shards, executor)
         # Setup (graph copies + LRD decomposition) is excluded from timing:
         # per repeat the engine call alone is measured on a fresh driver.
         best = float("inf")
@@ -173,11 +173,11 @@ def run_shard_bench(*, events: int = 100_000, shards: int = 2, case: str = "g2_c
                 best = elapsed
                 driver, result = fresh, outcome
         assert driver is not None and result is not None
-        name = f"shards{shards}-{shard_mode}"
+        name = f"shards{shards}-{executor}"
         edge_sets[name] = dict(driver.sparsifier._edges)
         report = result.shard_report
         rows.append({
-            "mode": name, "num_shards": shards, "shard_mode": shard_mode,
+            "mode": name, "num_shards": shards, "executor": executor,
             "seconds": best, "per_event_us": best / events * 1e6,
             "added": result.summary.added,
             "escrow_events": report.escrow_events if report else 0,

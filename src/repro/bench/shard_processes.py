@@ -1,0 +1,368 @@
+"""CLI + CI gate for the process-executor leg of the sharded engine.
+
+Complements :mod:`repro.bench.shard` (serial vs threads) with the third
+backend: every per-shard update kernel runs on a **persistent worker
+process** (:mod:`repro.core.executors`), escaping the GIL entirely at the
+cost of shipping each shard's state mirror once and replaying edge diffs.
+
+Three executions of the same 10⁵-event stream:
+
+* ``serial`` — the unsharded engine: the parity oracle;
+* ``shards<N>-serial`` — the sharded engine executed in-process (the cost
+  floor the workers must justify);
+* ``shards<N>-processes`` — the worker-process backend, including the
+  one-time state shipping (amortised over the stream).
+
+The gate always enforces bit-exact oracle parity (edge set AND weights) and
+a mid-stream **kill/restore drill**: the driver is checkpointed after half
+the stream, its workers are torn down, and a restored driver must finish
+the stream bit-identically.  The *speedup* criterion is hardware-gated like
+the threads gate: enforced on multi-core hosts, reported as a deferred
+:func:`repro.bench.ci.notice` on single-CPU runners.
+
+Run with::
+
+    python -m repro bench shard-processes [--events 100000] [--shards 2]
+
+Gate mode (the CI ``bench-perf`` job)::
+
+    python -m repro bench shard-processes --check BENCH_shard_processes.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.bench import ci
+from repro.bench.datasets import get_dataset
+from repro.bench.shard import (
+    DISTORTION_THRESHOLD,
+    LONG_RANGE_FRACTION,
+    TARGET_CONDITION,
+    _engine_config,
+    _timed,
+)
+from repro.bench.tables import format_table
+from repro.core.filtering import SimilarityFilter
+from repro.core.setup import run_setup
+from repro.core.sharding import ShardedSparsifier
+from repro.core.update import run_update
+from repro.sparsify.grass import GrassConfig, GrassSparsifier
+from repro.streams.edge_stream import mixed_edges
+
+#: Committed baseline consumed by the CI ``bench-perf`` job.
+DEFAULT_BASELINE_PATH = Path("benchmarks") / "baselines" / "shard_processes_baseline.json"
+
+
+def run_processes_bench(*, events: int = 100_000, shards: int = 2,
+                        case: str = "g2_circuit", scale: str = "large",
+                        seed: int = 0, repeats: int = 3) -> Dict:
+    """Run the process-executor protocol; return the JSON-ready payload."""
+    spec = get_dataset(case)
+    graph = spec.build(scale=scale, seed=seed)
+    grass = GrassSparsifier(GrassConfig(target_offtree_density=0.10,
+                                        tree_method="shortest_path", seed=seed))
+    sparsifier = grass.sparsify(graph, evaluate_condition=False).sparsifier
+    stream = mixed_edges(graph, int(events), long_range_fraction=LONG_RANGE_FRACTION,
+                         hops=3, seed=seed + events)
+
+    rows: List[Dict] = []
+    edge_sets: Dict[str, Dict] = {}
+
+    # --- serial oracle (same boundary as repro.bench.shard).
+    oracle_config = _engine_config(seed, 1, "serial")
+    setup = run_setup(sparsifier.copy(), oracle_config)
+    filtering_level = setup.filtering_level_for(TARGET_CONDITION, 2.0)
+    best = float("inf")
+    working = result = None
+    for _ in range(max(1, repeats)):
+        fresh_working = sparsifier.copy()
+        similarity_filter = SimilarityFilter(fresh_working, setup.hierarchy, filtering_level)
+        elapsed, fresh_result = _timed(
+            lambda: run_update(fresh_working, setup, stream, oracle_config,
+                               target_condition_number=TARGET_CONDITION,
+                               similarity_filter=similarity_filter))
+        if elapsed < best:
+            best = elapsed
+            working, result = fresh_working, fresh_result
+    assert working is not None and result is not None
+    edge_sets["serial"] = dict(working._edges)
+    rows.append({
+        "mode": "serial", "num_shards": 1, "executor": "serial",
+        "seconds": best, "per_event_us": best / events * 1e6,
+        "added": result.summary.added,
+    })
+
+    # --- sharded in-process floor + worker-process arm.
+    for executor in ("serial", "processes"):
+        config = _engine_config(seed, shards, executor)
+        best = float("inf")
+        driver = result = None
+        for _ in range(max(1, repeats)):
+            fresh = ShardedSparsifier(config)
+            fresh.setup(graph, sparsifier, target_condition_number=TARGET_CONDITION)
+            fresh.plan  # materialise plan + scoped filters outside the timer
+            elapsed, outcome = _timed(lambda: fresh.run_insertion_engine(stream))
+            if elapsed < best:
+                best = elapsed
+                driver, result = fresh, outcome
+        assert driver is not None and result is not None
+        name = f"shards{shards}-{executor}"
+        edge_sets[name] = dict(driver.sparsifier._edges)
+        report = result.shard_report
+        rows.append({
+            "mode": name, "num_shards": shards, "executor": executor,
+            "seconds": best, "per_event_us": best / events * 1e6,
+            "added": result.summary.added,
+            "engine_mode": report.mode if report else "serial",
+            "escrow_events": report.escrow_events if report else 0,
+        })
+
+    reference = edge_sets["serial"]
+    for row in rows:
+        candidate = edge_sets[row["mode"]]
+        row["edge_sets_match"] = set(candidate) == set(reference)
+        row["weights_match"] = candidate == reference
+
+    # --- kill/restore drill: checkpoint after the first half of the stream,
+    # tear the workers down (the "kill"), restore into a fresh driver and
+    # finish — the survivor must land bit-identically on the uninterrupted
+    # run.  Both runs stream the same two batches: engine decisions (the
+    # distortion median, in-batch dedup) are batch-scoped, so the reference
+    # must share the survivor's batch boundaries for bit-equality to be the
+    # meaningful claim (the checkpoint, not the batching, is under test).
+    half = int(events) // 2
+    config = _engine_config(seed, shards, "processes")
+    full = ShardedSparsifier(config)
+    full.setup(graph, sparsifier, target_condition_number=TARGET_CONDITION)
+    full.run_insertion_engine(stream[:half])
+    full.run_insertion_engine(stream[half:])
+
+    interrupted = ShardedSparsifier(config)
+    interrupted.setup(graph, sparsifier, target_condition_number=TARGET_CONDITION)
+    interrupted.run_insertion_engine(stream[:half])
+    with tempfile.TemporaryDirectory() as tmp:
+        ckpt = os.path.join(tmp, "drill")
+        interrupted.save_checkpoint(ckpt)
+        interrupted._shutdown_workers()  # the kill: workers and mirrors gone
+        survivor = ShardedSparsifier.load_checkpoint(ckpt)
+    survivor.run_insertion_engine(stream[half:])
+    restore_match = dict(survivor.sparsifier._edges) == dict(full.sparsifier._edges)
+
+    by_mode = {row["mode"]: row for row in rows}
+    serial_us = by_mode["serial"]["per_event_us"]
+    processes_us = by_mode[f"shards{shards}-processes"]["per_event_us"]
+    payload = {
+        "meta": {
+            "benchmark": "shard_processes",
+            "case": case,
+            "paper_case": spec.paper_name,
+            "scale": scale,
+            "seed": seed,
+            "events": int(events),
+            "shards": int(shards),
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+            "long_range_fraction": LONG_RANGE_FRACTION,
+            "distortion_threshold": DISTORTION_THRESHOLD,
+            "repeats": repeats,
+            "cpu_count": os.cpu_count() or 1,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+        "results": rows,
+        "speedup_processes": serial_us / processes_us if processes_us > 0 else float("inf"),
+        "kill_restore_match": bool(restore_match),
+    }
+    return payload
+
+
+def print_results(payload: Dict) -> str:
+    """Format the benchmark payload as a table."""
+    rows = []
+    for row in payload["results"]:
+        rows.append({
+            "Mode": row["mode"],
+            "us/event": row["per_event_us"],
+            "Seconds": row["seconds"],
+            "Added": row["added"],
+            "Engine": row.get("engine_mode", "-"),
+            "H identical": ("yes" if row["edge_sets_match"] and row.get("weights_match", True)
+                            else "NO"),
+        })
+    return format_table(rows, list(rows[0].keys()) if rows else [], precision=2)
+
+
+def distil_baseline(payload: Dict) -> Dict:
+    """Reduce a benchmark payload to the committed baseline schema."""
+    meta = payload.get("meta", {})
+    by_mode = {row["mode"]: row for row in payload["results"]}
+    shards = meta.get("shards", 2)
+    return {
+        "benchmark": "shard_processes",
+        "case": meta.get("case"),
+        "scale": meta.get("scale"),
+        "seed": meta.get("seed"),
+        "events": meta.get("events"),
+        "shards": shards,
+        "cpu_count": meta.get("cpu_count"),
+        "generated": meta.get("timestamp"),
+        "serial_per_event_us": by_mode["serial"]["per_event_us"],
+        "processes_per_event_us": by_mode[f"shards{shards}-processes"]["per_event_us"],
+        "speedup_processes": payload.get("speedup_processes"),
+    }
+
+
+def check_gate(payload: Dict, baseline: Optional[Dict], *, min_speedup: float = 1.1,
+               regression_tolerance: float = 0.35) -> List[str]:
+    """Gate a benchmark payload; return failure messages (empty = pass).
+
+    1. **Oracle parity** (always): every execution — including the
+       worker-process one — produced the bit-identical sparsifier.
+    2. **Kill/restore** (always): the mid-stream checkpointed-and-restored
+       driver finished the stream bit-identically.
+    3. **Speedup** (multi-core hosts): the process backend must beat the
+       unsharded engine by ``min_speedup`` per event; deferred with a CI
+       notice on single-CPU hosts, where workers merely serialise through
+       one core plus shipping overhead.  Ratio regressions are judged
+       against a multi-core baseline, which cancels machine speed.
+    """
+    failures: List[str] = []
+    meta = payload.get("meta", {})
+    cpu_count = int(meta.get("cpu_count", 1))
+    for row in payload.get("results", []):
+        if not row.get("edge_sets_match", True):
+            failures.append(f"{row['mode']}: sparsifier edge set diverged from the serial oracle")
+        elif not row.get("weights_match", True):
+            failures.append(f"{row['mode']}: sparsifier weights diverged from the serial oracle")
+    if not payload.get("kill_restore_match", False):
+        failures.append("kill/restore drill: the restored driver's continuation diverged")
+    speedup = float(payload.get("speedup_processes", 0.0))
+    if cpu_count >= 2:
+        if speedup < min_speedup:
+            failures.append(
+                f"process-executor run is only {speedup:.2f}x the serial engine "
+                f"on a {cpu_count}-CPU host (required ≥ {min_speedup:.2f}x)"
+            )
+    else:
+        ci.notice(
+            f"process-executor speedup criterion deferred: host has {cpu_count} CPU "
+            f"(measured {speedup:.2f}x, enforced ≥ {min_speedup:.2f}x on multi-core "
+            "runners)",
+            title="shard-processes gate",
+        )
+    if baseline is not None and int(baseline.get("cpu_count", 1)) < 2:
+        ci.notice(
+            "processes/serial ratio-regression arm skipped: the committed baseline "
+            "was generated on a single-CPU host — regenerate it on a multi-core "
+            "machine (`python -m repro bench shard-processes --write-baseline`)",
+            title="shard-processes gate",
+        )
+    if baseline is not None and int(baseline.get("cpu_count", 1)) >= 2 and cpu_count >= 2:
+        reference_ratio = (float(baseline["processes_per_event_us"])
+                           / float(baseline["serial_per_event_us"]))
+        by_mode = {row["mode"]: row for row in payload.get("results", [])}
+        shards = meta.get("shards", 2)
+        measured_ratio = (float(by_mode[f"shards{shards}-processes"]["per_event_us"])
+                          / float(by_mode["serial"]["per_event_us"]))
+        if measured_ratio > reference_ratio * (1.0 + regression_tolerance):
+            failures.append(
+                f"processes/serial per-event ratio {measured_ratio:.3f} regressed more "
+                f"than {regression_tolerance:.0%} against the baseline ratio "
+                f"{reference_ratio:.3f}"
+            )
+    return failures
+
+
+def _load(path: str) -> Dict:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Process-executor shard benchmark / CI gate")
+    parser.add_argument("--check", metavar="BENCH_JSON", default=None,
+                        help="gate mode: validate this benchmark result")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE_PATH),
+                        help="baseline file to read (check) or write (--write-baseline)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="after running, distil the result into --baseline")
+    parser.add_argument("--min-speedup", type=float, default=1.1,
+                        help="required processes-vs-serial per-event speedup (multi-core hosts)")
+    parser.add_argument("--regression-tolerance", type=float, default=0.35,
+                        help="allowed relative regression of the processes/serial ratio")
+    parser.add_argument("--events", type=int, default=100_000,
+                        help="stream size (the acceptance stream is 10^5 events)")
+    parser.add_argument("--shards", type=int, default=2, help="shard count")
+    parser.add_argument("--case", default="g2_circuit", help="dataset registry name")
+    parser.add_argument("--scale", default="large", choices=["small", "medium", "large"])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=3, help="best-of-N timing repeats")
+    parser.add_argument("--output", default="BENCH_shard_processes.json",
+                        help="path of the JSON artifact (empty string disables writing)")
+    args = parser.parse_args(argv)
+
+    if args.check is not None:
+        payload = _load(args.check)
+        baseline = _load(args.baseline) if Path(args.baseline).exists() else None
+        failures = check_gate(payload, baseline, min_speedup=args.min_speedup,
+                              regression_tolerance=args.regression_tolerance)
+        if failures:
+            print("SHARD PROCESSES GATE FAILED:")
+            for failure in failures:
+                print(f"  - {failure}")
+            print(f"(baseline: {args.baseline}; refresh it with "
+                  "`python -m repro bench shard-processes --write-baseline` if the "
+                  "change is intentional)")
+            return 1
+        cpu_count = int(payload.get("meta", {}).get("cpu_count", 1))
+        print("shard-processes gate OK: oracle parity across executions, kill/restore "
+              "drill bit-identical, speedup criterion "
+              f"{'enforced' if cpu_count >= 2 else 'deferred (single CPU)'}")
+        return 0
+
+    payload = run_processes_bench(events=args.events, shards=args.shards, case=args.case,
+                                  scale=args.scale, seed=args.seed, repeats=args.repeats)
+    print("Shard processes — per-event engine cost, unsharded vs sharded (serial / workers)")
+    print(print_results(payload))
+    print(f"processes speedup vs serial engine: {payload['speedup_processes']:.2f}x "
+          f"(host: {payload['meta']['cpu_count']} CPU)")
+    print(f"kill/restore drill: "
+          f"{'bit-identical' if payload['kill_restore_match'] else 'DIVERGED'}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.output}")
+    if args.write_baseline:
+        baseline = distil_baseline(payload)
+        path = Path(args.baseline)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote baseline {path}")
+    ok = (payload["kill_restore_match"]
+          and all(row["edge_sets_match"] and row.get("weights_match", True)
+                  for row in payload["results"]))
+    if not ok:
+        print("ACCEPTANCE FAILED: a process-executor run diverged from the serial oracle")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    from repro.cli import warn_legacy_invocation
+
+    warn_legacy_invocation("repro.bench.shard_processes", "bench shard-processes")
+    raise SystemExit(main())

@@ -13,6 +13,9 @@ production-shaped configuration and asserts the long-run contract:
 * the sharded execution (4 shards, threaded, adaptive replans armed) stays
   **bit-exact** with the unsharded oracle — edge set, weights — and its
   end-state κ matches the oracle's;
+* a third leg runs the ``processes`` executor and survives a **mid-soak
+  kill/restore drill** (checkpoint at the halfway batch, worker teardown,
+  restore, finish) while also staying bit-exact with the oracle;
 * the adaptive replan count stays under a configured bound (the policy must
   improve routing, not thrash the partition);
 * the sparsifier never disconnects.
@@ -32,6 +35,7 @@ import argparse
 import json
 import os
 import platform
+import tempfile
 import time
 from typing import Dict, List, Optional
 
@@ -51,8 +55,10 @@ TARGET_CONDITION = 128.0
 LONG_RANGE_FRACTION = 0.10
 
 
-def _soak_config(seed: int, num_shards: int) -> InGrassConfig:
+def _soak_config(seed: int, num_shards: int, executor: Optional[str] = None) -> InGrassConfig:
     """The production-shaped soak configuration (or its unsharded oracle)."""
+    if executor is None:
+        executor = "threads" if num_shards > 1 else "auto"
     return InGrassConfig(
         lrd=LRDConfig(seed=seed),
         batch_mode="vectorized",
@@ -60,7 +66,7 @@ def _soak_config(seed: int, num_shards: int) -> InGrassConfig:
         distortion_threshold=1.0,
         hierarchy_mode="maintain",
         num_shards=num_shards,
-        shard_mode="threads" if num_shards > 1 else "auto",
+        executor=executor,
         shard_batch_threshold=0,
         replan_escrow_fraction=0.5,
         replan_imbalance=2.0,
@@ -86,12 +92,32 @@ def run_soak(*, batches: int = 500, events: int = 25_000, shards: int = 4,
 
     runs: Dict[str, Dict] = {}
     drivers: Dict[str, InGrassSparsifier] = {}
-    for name, num_shards in (("oracle", 1), (f"shards{shards}", shards)):
-        driver = InGrassSparsifier.from_config(_soak_config(seed, num_shards))
+    legs = (("oracle", 1, None),
+            (f"shards{shards}", shards, "threads"),
+            (f"shards{shards}-processes", shards, "processes"))
+    for name, num_shards, executor in legs:
+        driver = InGrassSparsifier.from_config(_soak_config(seed, num_shards, executor))
         driver.setup(graph, sparsifier, target_condition_number=TARGET_CONDITION)
         start = time.perf_counter()
-        for batch in stream:
-            driver.update(batch)
+        if executor == "processes":
+            # Mid-soak kill/restore drill: checkpoint at the halfway batch,
+            # tear down the worker processes (the "kill"), restore into a
+            # fresh driver and let it finish the stream.  The parity checks
+            # below then hold the survivor to the oracle, so a restore that
+            # is anything less than byte-identical fails the soak.
+            half = len(stream) // 2
+            for batch in stream[:half]:
+                driver.update(batch)
+            with tempfile.TemporaryDirectory() as tmp:
+                checkpoint_dir = os.path.join(tmp, "soak-kill")
+                driver.save_checkpoint(checkpoint_dir)
+                getattr(driver, "_shutdown_workers", lambda: None)()
+                driver = InGrassSparsifier.load_checkpoint(checkpoint_dir)
+            for batch in stream[half:]:
+                driver.update(batch)
+        else:
+            for batch in stream:
+                driver.update(batch)
         elapsed = time.perf_counter() - start
         maintenance = driver.maintenance_stats
         runs[name] = {
@@ -113,8 +139,12 @@ def run_soak(*, batches: int = 500, events: int = 25_000, shards: int = 4,
     oracle = drivers["oracle"]
     sharded = drivers[f"shards{shards}"]
     sharded_run = runs[f"shards{shards}"]
+    processes = drivers[f"shards{shards}-processes"]
+    processes_run = runs[f"shards{shards}-processes"]
     edges_match = dict(sharded.sparsifier._edges) == dict(oracle.sparsifier._edges)
+    processes_match = dict(processes.sparsifier._edges) == dict(oracle.sparsifier._edges)
     kappa_delta = abs(sharded_run["kappa_final"] - runs["oracle"]["kappa_final"])
+    kappa_delta_processes = abs(processes_run["kappa_final"] - runs["oracle"]["kappa_final"])
     acceptance = {
         "zero_full_resetups": sharded_run["full_resetups"] == 0
                               and runs["oracle"]["full_resetups"] == 0,
@@ -122,8 +152,14 @@ def run_soak(*, batches: int = 500, events: int = 25_000, shards: int = 4,
         # Bit-exact edge sets make the κ computations identical inputs; the
         # tiny slack only covers eigensolver non-determinism across calls.
         "kappa_parity": kappa_delta <= 1e-6 * max(1.0, runs["oracle"]["kappa_final"]),
+        # The processes leg went through the mid-soak kill/restore drill, so
+        # this parity check also certifies a byte-identical resume.
+        "processes_kill_restore_parity": processes_match,
+        "processes_kappa_parity":
+            kappa_delta_processes <= 1e-6 * max(1.0, runs["oracle"]["kappa_final"]),
         "replans_bounded": sharded_run["replans"] <= max_replans,
-        "stayed_connected": sharded_run["connected"] and runs["oracle"]["connected"],
+        "stayed_connected": sharded_run["connected"] and runs["oracle"]["connected"]
+                            and processes_run["connected"],
     }
     return {
         "meta": {
@@ -146,6 +182,7 @@ def run_soak(*, batches: int = 500, events: int = 25_000, shards: int = 4,
         },
         "results": runs,
         "kappa_delta": kappa_delta,
+        "kappa_delta_processes": kappa_delta_processes,
         "acceptance": acceptance,
     }
 
@@ -173,7 +210,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                        scale=args.scale, seed=args.seed, max_replans=args.max_replans)
     print(f"Soak — {args.batches}-batch mixed churn stream "
           f"({args.deletion_fraction:.0%} deletions, maintain mode, "
-          f"{args.shards} shards threaded, adaptive replans armed)")
+          f"{args.shards} shards threaded + processes kill/restore leg, "
+          f"adaptive replans armed)")
     for name, run in payload["results"].items():
         print(f"  {name:<10} {run['seconds']:.2f}s  {run['per_event_us']:.1f} us/event  "
               f"resetups={run['full_resetups']}  splices={run['hierarchy_splices']}  "

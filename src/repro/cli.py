@@ -32,6 +32,7 @@ _BENCH_MODULES: Dict[str, str] = {
     "baseline": "repro.bench.baseline",
     "churn-maintenance": "repro.bench.churn_maintenance",
     "shard-removal": "repro.bench.shard_removal",
+    "shard-processes": "repro.bench.shard_processes",
     "table1": "repro.bench.table1",
     "table2": "repro.bench.table2",
     "table3": "repro.bench.table3",
@@ -95,6 +96,9 @@ def _run_serve_demo(argv: List[str]) -> int:
                         help="concurrent reader threads (default 4)")
     parser.add_argument("--deletion-fraction", type=float, default=0.3,
                         help="share of events that delete edges (default 0.3)")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="resume from a checkpoint in this directory if one "
+                             "exists, and save one there on exit")
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
 
@@ -109,20 +113,34 @@ def _run_serve_demo(argv: List[str]) -> int:
         SparsifierService,
         build_churn_scenario,
         grid_circuit_2d,
+        is_checkpoint,
     )
 
     graph = grid_circuit_2d(args.side, seed=args.seed)
+    service = None
+    applied = 0
+    if args.checkpoint_dir and is_checkpoint(args.checkpoint_dir):
+        service = SparsifierService.restore(args.checkpoint_dir)
+        # The churn scenario is a deterministic function of (side, seed), so
+        # a resumed run continues it from the first batch the saved run did
+        # not stream, instead of replaying batches the state already absorbed.
+        applied = len(service.driver.history)
+        print(f"resumed from checkpoint {args.checkpoint_dir} "
+              f"(version epoch {service.latest_version}, "
+              f"{applied} batches already applied)")
     scenario = build_churn_scenario(
         graph,
-        DynamicScenarioConfig(num_iterations=args.batches,
+        DynamicScenarioConfig(num_iterations=applied + args.batches,
                               deletion_fraction=args.deletion_fraction,
                               seed=args.seed),
     )
-    service = SparsifierService(InGrassConfig(seed=args.seed))
-    service.setup(scenario.graph, scenario.initial_sparsifier,
-                  target_condition_number=scenario.initial_condition_number)
+    scenario_batches = scenario.batches[applied:]
+    if service is None:
+        service = SparsifierService(InGrassConfig(seed=args.seed))
+        service.setup(scenario.graph, scenario.initial_sparsifier,
+                      target_condition_number=scenario.initial_condition_number)
     print(f"serving: {graph.num_nodes} nodes, {graph.num_edges} edges, "
-          f"{len(scenario.batches)} churn batches, {args.readers} readers")
+          f"{len(scenario_batches)} churn batches, {args.readers} readers")
 
     stop = threading.Event()
     stats_lock = threading.Lock()
@@ -152,18 +170,18 @@ def _run_serve_demo(argv: List[str]) -> int:
         thread.start()
 
     write_begin = time.perf_counter()
-    for index, batch in enumerate(scenario.batches, start=1):
+    for index, batch in enumerate(scenario_batches, start=1):
         service.apply(batch)
-        if index % max(1, len(scenario.batches) // 5) == 0:
+        if index % max(1, len(scenario_batches) // 5) == 0:
             snap = service.snapshot()
-            print(f"  batch {index:3d}/{len(scenario.batches)}: version {snap.version}, "
+            print(f"  batch {index:3d}/{len(scenario_batches)}: version {snap.version}, "
                   f"|E_H| = {snap.num_sparsifier_edges}")
     write_seconds = time.perf_counter() - write_begin
     stop.set()
     for thread in threads:
         thread.join(timeout=30.0)
 
-    print(f"writer: {len(scenario.batches)} batches in {write_seconds:.2f}s "
+    print(f"writer: {len(scenario_batches)} batches in {write_seconds:.2f}s "
           f"(final version {service.latest_version})")
     total_queries = 0
     for stats in sorted(reader_stats, key=lambda s: s["reader"]):
@@ -176,6 +194,100 @@ def _run_serve_demo(argv: List[str]) -> int:
     print(f"total: {total_queries} concurrent queries, zero locks held during reads")
     final = service.snapshot()
     print(f"final epoch {final.version}: kappa = {final.condition_number():.2f}")
+    if args.checkpoint_dir:
+        service.save_checkpoint(args.checkpoint_dir)
+        print(f"checkpoint saved to {args.checkpoint_dir} "
+              f"(version epoch {service.latest_version})")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# checkpoint: save / restore / inspect driver state
+# --------------------------------------------------------------------------- #
+def _run_checkpoint(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro checkpoint",
+        description="Save, restore, or inspect sparsifier checkpoints "
+                    "(versioned manifest.json + arrays.npz directories).")
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    info = sub.add_parser("info", help="summarise a checkpoint without loading it")
+    info.add_argument("path", help="checkpoint directory")
+
+    save = sub.add_parser(
+        "save", help="run a demo churn stream and checkpoint the final state")
+    save.add_argument("path", help="checkpoint directory to write")
+    save.add_argument("--side", type=int, default=13,
+                      help="grid side length of the demo graph (default 13)")
+    save.add_argument("--batches", type=int, default=5,
+                      help="churn batches to stream before saving (default 5)")
+    save.add_argument("--num-shards", type=int, default=1)
+    save.add_argument("--executor", default=None,
+                      choices=("auto", "serial", "threads", "processes"))
+    save.add_argument("--seed", type=int, default=0)
+
+    restore = sub.add_parser(
+        "restore", help="rebuild a driver from a checkpoint and report its state")
+    restore.add_argument("path", help="checkpoint directory to read")
+    restore.add_argument("--replay", type=int, default=0, metavar="M",
+                         help="stream M more demo churn batches after restoring "
+                              "(continues the save command's scenario)")
+    args = parser.parse_args(argv)
+
+    import json
+
+    from repro.checkpoint import describe_checkpoint
+
+    if args.action == "info":
+        print(json.dumps(describe_checkpoint(args.path), indent=2, sort_keys=True))
+        return 0
+
+    from repro.api import (
+        DynamicScenarioConfig,
+        InGrassConfig,
+        Sparsifier,
+        build_churn_scenario,
+        grid_circuit_2d,
+        load_checkpoint,
+    )
+
+    def demo_scenario(seed: int, side: int, batches: int):
+        graph = grid_circuit_2d(side, seed=seed)
+        return build_churn_scenario(
+            graph, DynamicScenarioConfig(num_iterations=batches, seed=seed))
+
+    if args.action == "save":
+        scenario = demo_scenario(args.seed, args.side, args.batches)
+        config = InGrassConfig(seed=args.seed, num_shards=args.num_shards,
+                               executor=args.executor)
+        driver = Sparsifier(config)
+        driver.setup(scenario.graph, scenario.initial_sparsifier,
+                     target_condition_number=scenario.initial_condition_number)
+        for batch in scenario.batches:
+            driver.update(batch)
+        driver.save_checkpoint(args.path)
+        print(f"streamed {len(scenario.batches)} batches, checkpoint saved to "
+              f"{args.path} (version epoch {driver.latest_version}, "
+              f"|E_H| = {driver.sparsifier.num_edges})")
+        return 0
+
+    driver = load_checkpoint(args.path)
+    print(f"restored {type(driver).__name__} from {args.path} "
+          f"(version epoch {driver.latest_version}, "
+          f"|E_H| = {driver.sparsifier.num_edges})")
+    if args.replay:
+        import math
+
+        done = len(driver.history)
+        # The demo graph is a grid, so the side length round-trips through
+        # the checkpoint's node count; seed comes from the saved config.
+        side = math.isqrt(driver.graph.num_nodes)
+        scenario = demo_scenario(driver.config.seed, side, done + args.replay)
+        for batch in scenario.batches[done:done + args.replay]:
+            driver.update(batch)
+        print(f"replayed {args.replay} more batches "
+              f"(version epoch {driver.latest_version}, "
+              f"|E_H| = {driver.sparsifier.num_edges})")
     return 0
 
 
@@ -195,6 +307,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     demo = sub.add_parser("serve-demo", help="concurrent-read service demo",
                           add_help=False)
     demo.add_argument("rest", nargs=argparse.REMAINDER)
+    ckpt = sub.add_parser("checkpoint", help="save/restore/inspect driver state",
+                          add_help=False)
+    ckpt.add_argument("rest", nargs=argparse.REMAINDER)
 
     # `repro bench gate --no-check` must forward `--no-check` untouched, so
     # anything after the subcommand name bypasses the top-level parser.
@@ -202,6 +317,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_bench(argv[1:])
     if argv and argv[0] == "serve-demo":
         return _run_serve_demo(argv[1:])
+    if argv and argv[0] == "checkpoint":
+        return _run_checkpoint(argv[1:])
     args = parser.parse_args(argv)
     if args.version:
         from repro import __version__

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -164,15 +165,23 @@ class InGrassConfig:
         coarse LRD level (clusters never straddle shards) and runs per-shard
         similarity filters; cross-shard edges drain through a global escrow
         stage.  Any shard count produces the same sparsifier as ``1``.
+    executor:
+        How per-shard sub-batches execute: ``"serial"`` one after another in
+        the calling thread, ``"threads"`` concurrently on a thread pool (the
+        numpy scoring/grouping kernels release the GIL, so shards overlap on
+        multi-core hosts), ``"processes"`` on persistent worker processes
+        (one per shard; pickle-framed pipe protocol, bit-exact with every
+        other executor), or ``"auto"`` (default), which picks threads when
+        more than one shard is populated, the host has more than one CPU and
+        the batch reaches ``shard_batch_threshold`` events — ``"auto"``
+        never selects processes (worker processes are an explicit opt-in).
     shard_mode:
-        How per-shard sub-batches execute: ``"serial"`` one after another,
-        ``"threads"`` concurrently on a thread pool (the numpy scoring/
-        grouping kernels release the GIL, so shards overlap on multi-core
-        hosts), ``"auto"`` (default) picks threads when more than one shard
-        is populated, the host has more than one CPU and the batch reaches
-        ``shard_batch_threshold`` events.
+        Deprecated alias of ``executor`` (pre-PR 7 name).  Setting it emits
+        a :class:`DeprecationWarning` and copies the value into
+        ``executor``; both fields always hold the same normalised value so
+        legacy readers keep working.
     shard_batch_threshold:
-        Batch size at which ``shard_mode="auto"`` starts using threads
+        Batch size at which ``executor="auto"`` starts using threads
         (below it, pool dispatch overhead exceeds the win).
     replan_escrow_fraction:
         Adaptive replanning: once the fraction of streamed events routed to
@@ -223,7 +232,8 @@ class InGrassConfig:
     batch_mode: str = "auto"
     batch_mode_threshold: int = 32
     num_shards: int = 1
-    shard_mode: str = "auto"
+    executor: Optional[str] = None
+    shard_mode: Optional[str] = None
     shard_batch_threshold: int = 4096
     replan_escrow_fraction: Optional[float] = None
     replan_imbalance: Optional[float] = None
@@ -240,17 +250,28 @@ class InGrassConfig:
 
     def use_shard_threads(self, batch_size: int, populated_shards: int,
                           cpu_count: Optional[int]) -> bool:
-        """Resolve the shard execution mode for one batch.
+        """Resolve the thread-executor choice for one batch.
 
         Threads only ever pay off with at least two populated shards; in
         ``"auto"`` mode they additionally require a multi-core host and a
-        batch large enough to amortise the pool dispatch.
+        batch large enough to amortise the pool dispatch.  ``"processes"``
+        dispatches elsewhere (:meth:`use_shard_processes`), never here.
         """
-        if populated_shards <= 1 or self.shard_mode == "serial":
+        if populated_shards <= 1 or self.executor in ("serial", "processes"):
             return False
-        if self.shard_mode == "threads":
+        if self.executor == "threads":
             return True
         return bool(cpu_count and cpu_count > 1 and batch_size >= self.shard_batch_threshold)
+
+    def use_shard_processes(self, populated_shards: int) -> bool:
+        """Resolve the process-executor choice for one batch.
+
+        Worker processes are an explicit opt-in (``executor="processes"``)
+        and need at least two populated shards to pay off; unlike the thread
+        heuristic there is no batch-size floor — once opted in, every batch
+        runs on the workers so their mirrored state stays in lockstep.
+        """
+        return self.executor == "processes" and populated_shards > 1
 
     def __post_init__(self) -> None:
         if self.target_condition_number is not None:
@@ -290,9 +311,23 @@ class InGrassConfig:
         if self.batch_mode_threshold < 0:
             raise ValueError("batch_mode_threshold must be non-negative")
         check_positive_int(self.num_shards, "num_shards")
-        if self.shard_mode not in ("auto", "serial", "threads"):
-            raise ValueError(f"unknown shard_mode {self.shard_mode!r}; "
-                             "expected 'auto', 'serial' or 'threads'")
+        if self.executor is None and self.shard_mode is not None:
+            # Warn only on the original construction: dataclasses.replace()
+            # re-runs __post_init__ on copies where both fields are already
+            # normalised, and those must stay silent.
+            warnings.warn(
+                "InGrassConfig.shard_mode is deprecated; use "
+                "InGrassConfig.executor instead",
+                DeprecationWarning, stacklevel=3)
+            self.executor = self.shard_mode
+        if self.executor is None:
+            self.executor = "auto"
+        if self.executor not in ("auto", "serial", "threads", "processes"):
+            raise ValueError(f"unknown executor {self.executor!r}; "
+                             "expected 'auto', 'serial', 'threads' or 'processes'")
+        # Keep the deprecated alias mirrored so legacy readers see the
+        # normalised value.
+        self.shard_mode = self.executor
         if self.shard_batch_threshold < 0:
             raise ValueError("shard_batch_threshold must be non-negative")
         if self.replan_escrow_fraction is not None:

@@ -1,0 +1,311 @@
+"""Process-parallel shard execution: persistent workers over a pipe protocol.
+
+The sharded driver's ``threads`` executor overlaps the numpy kernels of the
+per-shard pipelines, but everything Python-level still serialises on the GIL.
+This module supplies the ``processes`` backend: one persistent worker process
+per shard, fed over a ``multiprocessing.Pipe`` whose ``send``/``recv`` framing
+is plain pickle — stdlib only, no shared-memory segments to manage, and every
+payload the protocol ships (numpy arrays, the engine's result dataclasses,
+:class:`~repro.core.config.InGrassConfig`) pickles losslessly.
+
+Protocol
+--------
+Messages are ``(kind, payload)`` tuples; every request gets exactly one reply
+(``("ok", result)`` or ``("error", (repr, traceback))``), so requests to one
+worker pipeline FIFO and the dispatcher can send a state refresh and a task
+back to back without a round trip between them.
+
+* ``"state"`` — (re)build the worker's **mirror**: a private sparsifier
+  holding exactly the shard-owned edge slice, a hierarchy rebuilt from the
+  shipped level arrays (:meth:`ClusterHierarchy.from_level_arrays` — live
+  hierarchies are deliberately never pickled, see that method), and a
+  :class:`~repro.core.sharding.ShardScopedFilter` rescanned from the mirror.
+  Rebuilt filters are decision-identical to the parent's live view because
+  every bucket consumer is content-canonical.
+* ``"update"`` — run :func:`~repro.core.update.run_update` on the mirror and
+  return the :class:`UpdateResult` plus the mirror's **edge diff** (edges
+  appended past the pre-call count, and pre-existing rows whose weight
+  changed — updates never remove or reorder sparsifier edges, so index
+  alignment against the pre-call weight array is exact).  The parent replays
+  the diff into the shared sparsifier, which is bit-identical to having run
+  the kernel in place: the mirror held exactly the state the kernel could
+  read, and the kernels are deterministic.
+* ``"drop"`` — run :func:`~repro.core.update.run_removal_drop_stage`
+  (``inflate=False``) and return the :class:`RemovalStage1Result` plus the
+  weight-dict diff (removals break index alignment, so this diff compares
+  edge dicts instead).
+* ``"shutdown"`` — exit the worker loop (EOF on the pipe does the same).
+
+Failure model
+-------------
+Transport-level failures — a worker that cannot start, died, or closed its
+pipe — raise :class:`ExecutorUnavailableError`; the sharded driver catches
+exactly that, logs a warning and re-runs the batch serially (worker tasks
+never mutate parent state, so a failed dispatch is fully retryable).  An
+exception raised *inside* a kernel on the worker comes back as
+:class:`WorkerTaskError` carrying the remote traceback and is not swallowed
+by the fallback: it would fail identically in-process and should surface.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.logging import get_logger
+
+logger = get_logger("core.executors")
+
+
+class ExecutorUnavailableError(RuntimeError):
+    """The processes backend could not start, or lost a worker mid-dispatch."""
+
+
+class WorkerTaskError(RuntimeError):
+    """A shard worker raised inside a kernel; the remote traceback is attached."""
+
+    def __init__(self, shard: int, exc_repr: str, remote_traceback: str) -> None:
+        super().__init__(
+            f"shard worker {shard} raised {exc_repr}\n"
+            f"--- remote traceback ---\n{remote_traceback}"
+        )
+        self.shard = shard
+        self.remote_traceback = remote_traceback
+
+
+# --------------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------------- #
+def _build_mirror(state: Dict[str, Any]) -> Dict[str, Any]:
+    """Materialise one shard's private update stack from a state payload.
+
+    Imports are deferred: this module is imported by ``core.sharding`` (the
+    parent side), while the worker needs ``ShardScopedFilter`` *from*
+    ``core.sharding`` — lazy importing here breaks the cycle and keeps spawn
+    -started workers from paying the full package import before they know
+    which symbols they need.
+    """
+    from repro.core.embedding import ResistanceEmbedding
+    from repro.core.hierarchy import ClusterHierarchy
+    from repro.core.setup import SetupResult
+    from repro.core.sharding import ShardScopedFilter
+    from repro.graphs.graph import Graph
+
+    mirror = Graph(int(state["num_nodes"]))
+    for u, v, w in zip(state["edge_us"].tolist(), state["edge_vs"].tolist(),
+                       state["edge_ws"].tolist()):
+        mirror.add_edge_unchecked(int(u), int(v), float(w))
+    hierarchy = ClusterHierarchy.from_level_arrays(
+        state["embedding"], state["cluster_diameters"], state["diameter_thresholds"],
+    )
+    setup = SetupResult(
+        hierarchy=hierarchy,
+        embedding=ResistanceEmbedding(hierarchy),
+        setup_seconds=0.0,
+        num_levels=hierarchy.num_levels,
+    )
+    scoped = ShardScopedFilter(
+        mirror, hierarchy, int(state["filtering_level"]),
+        plan=state["plan"], shard_id=int(state["shard_id"]),
+        redistribute_intra_cluster_weight=bool(state["redistribute"]),
+    )
+    return {"sparsifier": mirror, "setup": setup, "filter": scoped}
+
+
+def _run_update_task(mirror: Dict[str, Any], task: Dict[str, Any]) -> Dict[str, Any]:
+    """One shard's insertion sub-batch against the mirror, diffed for replay."""
+    from repro.core.update import run_update
+
+    sparsifier = mirror["sparsifier"]
+    n0 = sparsifier.num_edges
+    ws0 = sparsifier.edge_arrays()[2].copy() if n0 else np.zeros(0)
+    result = run_update(
+        sparsifier, mirror["setup"], task["triples"], task["config"],
+        target_condition_number=task["target"],
+        similarity_filter=mirror["filter"], maintainer=None,
+        distortion_median=task["median"], scored_batch=task["scored"],
+    )
+    us1, vs1, ws1 = sparsifier.edge_arrays()
+    # Insertions only append and reweigh: the first n0 rows still describe the
+    # pre-call edges in order, so the changed-weight diff is a plain index
+    # compare and the appended tail is the added set, in decision order.
+    changed = np.flatnonzero(ws1[:n0] != ws0)
+    return {
+        "result": result,
+        "added": (us1[n0:].copy(), vs1[n0:].copy(), ws1[n0:].copy()),
+        "changed": (us1[changed].copy(), vs1[changed].copy(), ws1[changed].copy()),
+    }
+
+
+def _run_drop_task(mirror: Dict[str, Any], task: Dict[str, Any]) -> Dict[str, Any]:
+    """One shard's removal drop stage against the mirror, diffed for replay."""
+    from repro.core.update import run_removal_drop_stage
+
+    sparsifier = mirror["sparsifier"]
+    before = dict(sparsifier._edges)
+    stage = run_removal_drop_stage(
+        sparsifier, mirror["setup"], task["items"], task["graph_weights"],
+        similarity_filter=mirror["filter"], config=task["config"], inflate=False,
+    )
+    # Removals break index alignment, so the diff compares edge dicts: weight
+    # re-homing changes surviving rows in place, removals come back inside the
+    # stage result itself (with positions), and nothing is ever added here.
+    after = sparsifier._edges
+    changed = [(u, v, w) for (u, v), w in after.items()
+               if (u, v) in before and before[(u, v)] != w]
+    added = [(u, v, w) for (u, v), w in after.items() if (u, v) not in before]
+    return {"result": stage, "changed": changed, "added": added}
+
+
+def _shard_worker_main(conn) -> None:
+    """Request loop of one persistent shard worker (runs in the child)."""
+    mirror: Dict[str, Any] = {}
+    while True:
+        try:
+            kind, payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        if kind == "shutdown":
+            break
+        try:
+            if kind == "state":
+                mirror = _build_mirror(payload)
+                reply: Tuple[str, Any] = ("ok", None)
+            elif kind == "update":
+                if not mirror:
+                    raise RuntimeError("worker received a task before its shard state")
+                reply = ("ok", _run_update_task(mirror, payload))
+            elif kind == "drop":
+                if not mirror:
+                    raise RuntimeError("worker received a task before its shard state")
+                reply = ("ok", _run_drop_task(mirror, payload))
+            else:
+                raise RuntimeError(f"unknown shard-worker message kind {kind!r}")
+        except BaseException as exc:  # noqa: BLE001 - ship *any* failure back
+            reply = ("error", (repr(exc), traceback.format_exc()))
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+    try:
+        conn.close()
+    except OSError:  # pragma: no cover - teardown race
+        pass
+
+
+# --------------------------------------------------------------------------- #
+# Parent side
+# --------------------------------------------------------------------------- #
+class ProcessShardExecutor:
+    """Persistent per-shard worker processes behind the pipe protocol.
+
+    Workers start lazily (one per shard id on first use) and stay alive
+    across batches, so a warm shard pays per batch only the task payload and
+    the result diff — not a state rebuild.  :meth:`run_tasks` pipelines an
+    arbitrary request list (state refreshes and kernel tasks interleaved),
+    sending everything before collecting any reply: requests to one worker
+    answer FIFO, requests to different workers run concurrently.
+    """
+
+    def __init__(self) -> None:
+        try:
+            self._context = multiprocessing.get_context()
+        except Exception as exc:  # pragma: no cover - exotic platforms
+            raise ExecutorUnavailableError(f"multiprocessing unavailable: {exc}") from exc
+        self._workers: Dict[int, Tuple[Any, Any]] = {}
+
+    @property
+    def num_workers(self) -> int:
+        """Workers currently alive."""
+        return sum(1 for process, _ in self._workers.values() if process.is_alive())
+
+    def ensure_worker(self, shard: int) -> None:
+        """Start (or restart) the worker owning ``shard``."""
+        worker = self._workers.get(shard)
+        if worker is not None:
+            if worker[0].is_alive():
+                return
+            self._drop_worker(shard)
+        try:
+            parent_conn, child_conn = self._context.Pipe()
+            process = self._context.Process(
+                target=_shard_worker_main, args=(child_conn,),
+                name=f"ingrass-shard-worker-{shard}", daemon=True,
+            )
+            process.start()
+            child_conn.close()
+        except ExecutorUnavailableError:
+            raise
+        except BaseException as exc:
+            raise ExecutorUnavailableError(
+                f"could not start shard worker {shard}: {exc!r}"
+            ) from exc
+        self._workers[shard] = (process, parent_conn)
+
+    def _drop_worker(self, shard: int) -> None:
+        process, conn = self._workers.pop(shard)
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if process.is_alive():  # pragma: no cover - only on abnormal paths
+            process.terminate()
+        process.join(timeout=1.0)
+
+    def _send(self, shard: int, message: Tuple[str, Any]) -> None:
+        worker = self._workers.get(shard)
+        if worker is None or not worker[0].is_alive():
+            raise ExecutorUnavailableError(f"shard worker {shard} is not running")
+        try:
+            worker[1].send(message)
+        except (BrokenPipeError, OSError, EOFError) as exc:
+            raise ExecutorUnavailableError(
+                f"shard worker {shard} dropped its pipe mid-send: {exc!r}"
+            ) from exc
+
+    def _recv(self, shard: int) -> Any:
+        worker = self._workers.get(shard)
+        if worker is None:
+            raise ExecutorUnavailableError(f"shard worker {shard} is not running")
+        try:
+            status, payload = worker[1].recv()
+        except (EOFError, OSError) as exc:
+            raise ExecutorUnavailableError(
+                f"shard worker {shard} died before replying: {exc!r}"
+            ) from exc
+        if status == "error":
+            exc_repr, remote_traceback = payload
+            raise WorkerTaskError(shard, exc_repr, remote_traceback)
+        return payload
+
+    def run_tasks(self, requests: Sequence[Tuple[int, str, Any]]) -> List[Any]:
+        """Dispatch ``(shard, kind, payload)`` requests; replies in request order.
+
+        All requests are sent before any reply is awaited, so per-shard
+        state refreshes piggyback on the same round trip as the task that
+        needs them and distinct workers execute concurrently.
+        """
+        for shard, kind, payload in requests:
+            self.ensure_worker(shard)
+            self._send(shard, (kind, payload))
+        return [self._recv(shard) for shard, _kind, _payload in requests]
+
+    def close(self) -> None:
+        """Shut every worker down (best effort, idempotent)."""
+        for shard in list(self._workers):
+            process, conn = self._workers[shard]
+            if process.is_alive():
+                try:
+                    conn.send(("shutdown", None))
+                except (BrokenPipeError, OSError):
+                    pass
+            self._drop_worker(shard)
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-driven
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -344,6 +344,19 @@ class SimilarityFilter:
         """
         self._register_edge(u, v)
 
+    def notify_edges_added(self, us: np.ndarray, vs: np.ndarray) -> None:
+        """Bulk :meth:`notify_edge_added` over parallel endpoint arrays.
+
+        The process-executor replay path registers every edge a shard worker
+        admitted in one call; bucket state is a pure function of the
+        registered edge *set* (no weights, no history), so replaying the
+        membership notifications is all it takes to keep a parent-side view
+        decision-identical to the worker's live filter.
+        """
+        for u, v in zip(np.asarray(us, dtype=np.int64).tolist(),
+                        np.asarray(vs, dtype=np.int64).tolist()):
+            self._register_edge(u, v)
+
     def notify_edge_removed(self, u: int, v: int) -> None:
         """Keep the connectivity map in sync with a sparsifier edge deletion.
 

@@ -511,6 +511,76 @@ class ClusterHierarchy:
         self._inflation_ceiling = None
 
     # ------------------------------------------------------------------ #
+    # Serialisation (worker state shipping + checkpoint format)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_level_arrays(cls, embedding: np.ndarray,
+                          cluster_diameters: Sequence[np.ndarray],
+                          diameter_thresholds: Sequence[float]) -> "ClusterHierarchy":
+        """Rebuild a hierarchy from raw level arrays.
+
+        The constructor path used by both the process-executor workers (which
+        receive the arrays over a pipe) and checkpoint restore.  A plain
+        ``pickle`` of a live hierarchy would detach every ``level.labels``
+        from the embedding matrix (they are column *views*, and unpickling
+        materialises them as independent copies), silently breaking the
+        one-matrix-many-views maintenance invariant — so serialisation ships
+        the arrays and rebuilds through the ordinary constructor instead.
+        """
+        embedding = np.ascontiguousarray(embedding, dtype=np.int64)
+        if embedding.ndim != 2 or embedding.shape[1] != len(cluster_diameters):
+            raise ValueError("embedding must be (num_nodes, num_levels) matching the diameter arrays")
+        if len(cluster_diameters) != len(diameter_thresholds):
+            raise ValueError("one diameter threshold is needed per level")
+        levels = [
+            LRDLevel(
+                labels=embedding[:, index].copy(),
+                cluster_diameters=np.asarray(diameters, dtype=np.float64).copy(),
+                diameter_threshold=float(threshold),
+            )
+            for index, (diameters, threshold) in enumerate(zip(cluster_diameters, diameter_thresholds))
+        ]
+        return cls(levels)
+
+    def checkpoint_state(self) -> dict:
+        """Export the full mutable state as plain arrays and counters.
+
+        Complements :meth:`export_state` (which hands out zero-copy read
+        views for the snapshot layer): this variant *copies*, and also
+        carries the staleness/version counters the constructor zeroes, so
+        ``from_level_arrays`` + :meth:`restore_counters` reproduces the
+        hierarchy bit-for-bit in another process.
+        """
+        return {
+            "embedding": self._embedding.copy(),
+            "cluster_diameters": [level.cluster_diameters.copy() for level in self._levels],
+            "diameter_thresholds": [float(level.diameter_threshold) for level in self._levels],
+            "noted_removals": self._noted_removals,
+            "version": self._version,
+            "labels_version": self._labels_version,
+            "level_labels_versions": list(self._level_labels_versions),
+            "inflation_ceiling": self._inflation_ceiling,
+        }
+
+    def restore_counters(self, *, noted_removals: int, version: int, labels_version: int,
+                         level_labels_versions: Sequence[int],
+                         inflation_ceiling: Optional[float]) -> None:
+        """Restore the mutation/staleness counters a fresh constructor zeroed.
+
+        Version counters are what level-bound caches (similarity filters, the
+        shard plan) validate against, so a restored hierarchy must resume the
+        saved sequence — otherwise the first post-restore mutation could
+        collide with a cached pre-save version and mask real staleness.
+        """
+        if len(level_labels_versions) != len(self._levels):
+            raise ValueError("one labels version is needed per level")
+        self._noted_removals = int(noted_removals)
+        self._version = int(version)
+        self._labels_version = int(labels_version)
+        self._level_labels_versions = [int(value) for value in level_labels_versions]
+        self._inflation_ceiling = None if inflation_ceiling is None else float(inflation_ceiling)
+
+    # ------------------------------------------------------------------ #
     # Filtering-level selection (Section III-C-2)
     # ------------------------------------------------------------------ #
     def max_cluster_sizes(self) -> List[int]:

@@ -30,8 +30,10 @@ Typical usage::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.core.config import InGrassConfig
 from repro.core.filtering import SimilarityFilter
@@ -266,6 +268,69 @@ class InGrassSparsifier:
         from repro.snapshot import SparsifierSnapshot
 
         return SparsifierSnapshot.capture(self)
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def save_checkpoint(self, path) -> None:
+        """Persist the driver's full state to ``path`` (a directory).
+
+        The checkpoint is a versioned, self-describing artifact —
+        ``manifest.json`` plus ``arrays.npz`` — from which
+        :meth:`load_checkpoint` rebuilds a driver whose continuation is
+        byte-identical to this one's (same sparsifier edge dict including
+        insertion order, same filter decisions, same κ trajectory).  See
+        :mod:`repro.checkpoint` for the format contract.
+        """
+        from repro.checkpoint import save_checkpoint
+
+        save_checkpoint(self, path)
+
+    @classmethod
+    def load_checkpoint(cls, path) -> "InGrassSparsifier":
+        """Rebuild a driver from a checkpoint written by :meth:`save_checkpoint`.
+
+        Dispatches through :meth:`from_config`, so a checkpoint saved from a
+        :class:`~repro.core.sharding.ShardedSparsifier` restores as one.
+        """
+        from repro.checkpoint import load_checkpoint
+
+        return load_checkpoint(path)
+
+    def _checkpoint_runtime_state(self) -> Tuple[dict, Dict[str, np.ndarray]]:
+        """Driver-specific checkpoint extras: (JSON-able dict, named arrays).
+
+        The base driver's only runtime state beyond the core arrays is the
+        maintain-mode maintainer: its lifetime counters and the spliced-node
+        neighbourhood pending re-examination.  The similarity filter is
+        deliberately *not* serialised — its cluster-pair map is a pure
+        function of (sparsifier edges, hierarchy labels) and is rebuilt
+        decision-identically on first use after restore.
+        """
+        extra: dict = {}
+        arrays: Dict[str, np.ndarray] = {}
+        if self.config.hierarchy_mode == "maintain":
+            maintainer = self._ensure_maintainer()
+            if maintainer is not None:
+                extra["maintainer_stats"] = asdict(maintainer.stats)
+                pending = sorted(maintainer._splice_neighbourhood.keys())
+                arrays["pending_splices"] = np.asarray(pending, dtype=np.int64)
+        return extra, arrays
+
+    def _restore_runtime_state(self, extra: dict,
+                               arrays: Dict[str, np.ndarray]) -> None:
+        """Inverse of :meth:`_checkpoint_runtime_state` on a rebuilt driver."""
+        if self.config.hierarchy_mode != "maintain":
+            return
+        maintainer = self._ensure_maintainer()
+        if maintainer is None:
+            return
+        stats = extra.get("maintainer_stats")
+        if stats is not None:
+            maintainer.stats = MaintenanceStats(**stats)
+        pending = arrays.get("pending_splices")
+        if pending is not None and pending.size:
+            maintainer.note_spliced_nodes(pending.tolist())
 
     @property
     def maintainer(self) -> Optional[HierarchyMaintainer]:

@@ -23,13 +23,16 @@ independent per-partition pipelines with a thin cross-partition merge stage.
 * :class:`ShardedSparsifier` routes each incoming batch per shard (numpy
   masks over the validated endpoint arrays), dispatches the intra-shard
   sub-batches to the existing :func:`~repro.core.update.run_update` kernels —
-  serially or on a thread pool (``InGrassConfig.shard_mode``); the scoring /
-  grouping kernels are numpy and release the GIL, so shards overlap on
-  multi-core hosts — then drains the escrow and replays hierarchy
-  maintenance in the exact order the unsharded engine would have used.
+  serially, on a thread pool, or on persistent worker processes
+  (``InGrassConfig.executor``); the thread path overlaps the GIL-releasing
+  numpy kernels, the process path (:mod:`repro.core.executors`) escapes the
+  GIL entirely by mirroring each shard's state in a worker and replaying the
+  worker's edge diff into the shared sparsifier — then drains the escrow and
+  replays hierarchy maintenance in the exact order the unsharded engine
+  would have used.
 
 **Oracle guarantee.**  Sharding is an execution strategy, not an
-approximation: for every ``num_shards`` and ``shard_mode`` the resulting
+approximation: for every ``num_shards`` and ``executor`` the resulting
 sparsifier (edge set *and* weights), the per-edge filter decisions and the
 κ-guard history are identical to the unsharded driver's, because
 
@@ -74,13 +77,14 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.config import InGrassConfig
 from repro.core.distortion import DistortionBatch, score_edge_arrays
+from repro.core.executors import ExecutorUnavailableError, ProcessShardExecutor
 from repro.core.filtering import (
     FilterAction,
     FilterDecision,
@@ -94,6 +98,7 @@ from repro.core.incremental import InGrassSparsifier
 from repro.core.maintenance import HierarchyMaintainer, MaintenanceStats
 from repro.core.update import (
     RemovalResult,
+    RemovalStage1Result,
     UpdateResult,
     _select_filtering_level,
     merge_drop_stages,
@@ -101,6 +106,7 @@ from repro.core.update import (
     run_removal_drop_stage,
     run_removal_repair_stages,
     run_update,
+    slice_graph_weights,
 )
 from repro.graphs.graph import Graph, canonical_edge
 from repro.graphs.validation import validate_new_edge_arrays
@@ -571,7 +577,7 @@ class ShardContext:
 class ShardBatchReport:
     """How one batch (insertion or removal phase) was executed across the shards."""
 
-    #: ``"serial"`` or ``"threads"``.
+    #: ``"serial"``, ``"threads"`` or ``"processes"``.
     mode: str
     #: Events routed to each shard (index = shard id).
     shard_events: List[int] = field(default_factory=list)
@@ -607,7 +613,7 @@ class ShardedSparsifier(InGrassSparsifier):
     Drop-in replacement: the public API, the history records and — by the
     oracle guarantee — every produced sparsifier are identical to the base
     driver's; only the execution strategy of the insertion engine changes.
-    Configure through ``InGrassConfig.num_shards`` / ``shard_mode`` and build
+    Configure through ``InGrassConfig.num_shards`` / ``executor`` and build
     via :meth:`InGrassSparsifier.from_config`.
     """
 
@@ -627,6 +633,17 @@ class ShardedSparsifier(InGrassSparsifier):
         self._single_shard_logged = False
         self._executor: Optional[ThreadPoolExecutor] = None
         self._retired_stats = MaintenanceStats()
+        # Process-executor state.  _mirror_epoch advances whenever shard-owned
+        # sparsifier state changed outside the worker protocol, so the next
+        # dispatch knows to re-ship shard state; _worker_sync records, per
+        # shard, the (mirror epoch, hierarchy version) its worker last
+        # mirrored.  _process_failed latches the serial fallback: once the
+        # backend failed to start or lost a worker, this driver never retries
+        # it (satellite fix — degrade with a logged warning, don't crash).
+        self._process_executor: Optional[ProcessShardExecutor] = None
+        self._process_failed = False
+        self._mirror_epoch = 0
+        self._worker_sync: Dict[int, Tuple[int, int]] = {}
 
     # ------------------------------------------------------------------ #
     # State access
@@ -715,6 +732,7 @@ class ShardedSparsifier(InGrassSparsifier):
         # retirement (keeping them) is only for mid-stream replans.
         self._retired_stats = MaintenanceStats()
         self._shutdown_pool()
+        self._shutdown_workers()
         self._plan = None
         self._contexts = None
         self._escrow = None
@@ -729,10 +747,21 @@ class ShardedSparsifier(InGrassSparsifier):
             self._executor.shutdown(wait=False)
             self._executor = None
 
+    def _shutdown_workers(self) -> None:
+        """Close the worker processes and invalidate every shipped mirror."""
+        if self._process_executor is not None:
+            self._process_executor.close()
+            self._process_executor = None
+        self._worker_sync = {}
+        self._mirror_epoch += 1
+
     def __del__(self) -> None:  # pragma: no cover - interpreter-driven
         executor = getattr(self, "_executor", None)
         if executor is not None:
             executor.shutdown(wait=False)
+        workers = getattr(self, "_process_executor", None)
+        if workers is not None:
+            workers.close()
 
     def _retire_context_stats(self) -> None:
         """Fold live maintainer counters into the retirement accumulator."""
@@ -747,10 +776,16 @@ class ShardedSparsifier(InGrassSparsifier):
         level = _select_filtering_level(self._setup, self._resolved_config(),
                                         self._target_condition)
         hierarchy = self._setup.hierarchy
-        plan = ShardPlan.from_hierarchy(
-            hierarchy, self.config.num_shards, min_level=level,
-            sparsifier=self._graph if self._graph is not None else self._sparsifier,
-        )
+        # Checkpoint restore pre-seeds self._plan so the restored driver keeps
+        # the exact partition it was saved under (replans null the plan first,
+        # so mid-stream re-derivations still happen); normally it is None here
+        # and a fresh plan is derived.
+        plan = self._plan
+        if plan is None:
+            plan = ShardPlan.from_hierarchy(
+                hierarchy, self.config.num_shards, min_level=level,
+                sparsifier=self._graph if self._graph is not None else self._sparsifier,
+            )
         self._plan = plan
         # Staleness is tracked at the *filtering* level: that is where
         # shard-disjoint buckets live, so only its fusions invalidate a plan.
@@ -866,6 +901,8 @@ class ShardedSparsifier(InGrassSparsifier):
             for u, v in edges:
                 self._owner_view(u, v).notify_edge_added(u, v)
         self._plan_patches += 1
+        # node_shard mutated in place: every shipped worker plan is now stale.
+        self._mirror_epoch += 1
 
     def _rebuild_contexts(self) -> None:
         """Re-derive the plan and rebuild every shard context (a replan).
@@ -881,8 +918,11 @@ class ShardedSparsifier(InGrassSparsifier):
             pending_splices = self._escrow.maintainer.drain_splice_neighbourhood()
         self._retire_context_stats()
         # The pool is sized to the plan's shard count; a re-derived plan may
-        # realise a different one, so let _pool() rebuild it lazily.
+        # realise a different one, so let _pool() rebuild it lazily.  Worker
+        # processes are keyed by shard id against the old plan — close them
+        # too; the next processes batch respawns and re-ships.
         self._shutdown_pool()
+        self._shutdown_workers()
         self._contexts = None
         self._escrow = None
         self._plan = None
@@ -954,6 +994,189 @@ class ShardedSparsifier(InGrassSparsifier):
                 thread_name_prefix="ingrass-shard",
             )
         return self._executor
+
+    # ------------------------------------------------------------------ #
+    # Process executor plumbing
+    # ------------------------------------------------------------------ #
+    def _ensure_process_executor(self) -> Optional[ProcessShardExecutor]:
+        """Start (or return) the worker-process executor; None if unavailable."""
+        if self._process_failed:
+            return None
+        if self._process_executor is None:
+            try:
+                self._process_executor = ProcessShardExecutor()
+            except ExecutorUnavailableError as exc:
+                self._disable_process_executor(exc)
+                return None
+        return self._process_executor
+
+    def _disable_process_executor(self, exc: BaseException) -> None:
+        """Latch the serial fallback after a transport/start failure.
+
+        The degraded driver keeps working — every worker task leaves the
+        parent's state untouched until its reply is replayed, so a failed
+        dispatch is simply re-run in-parent — it just stops paying the
+        process-shipping overhead for a backend that cannot deliver.
+        """
+        logger.warning(
+            "processes executor unavailable (%s): falling back to serial "
+            "shard execution for the rest of this driver's lifetime", exc,
+        )
+        self._process_failed = True
+        if self._process_executor is not None:
+            try:
+                self._process_executor.close()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+            self._process_executor = None
+        self._worker_sync = {}
+
+    def _worker_state(self, shard: int) -> dict:
+        """Snapshot one shard's slice of driver state for shipping to a worker.
+
+        Only shard-owned sparsifier edges travel: the worker's filter gates
+        registration by ownership anyway, and update/drop kernels for an
+        intra-shard batch can only ever observe shard-interior edges, so the
+        slice reproduces the full driver's decisions bit-exactly.
+        """
+        assert self._plan is not None and self._sparsifier is not None
+        assert self._setup is not None
+        plan = self._plan
+        us, vs, ws = self._sparsifier.edge_arrays()
+        if us.shape[0]:
+            mask = plan.shard_of_pairs(us, vs) == shard
+            us, vs, ws = us[mask].copy(), vs[mask].copy(), ws[mask].copy()
+        state = self._setup.hierarchy.checkpoint_state()
+        return {
+            "num_nodes": self._sparsifier.num_nodes,
+            "edge_us": us, "edge_vs": vs, "edge_ws": ws,
+            "embedding": state["embedding"],
+            "cluster_diameters": state["cluster_diameters"],
+            "diameter_thresholds": state["diameter_thresholds"],
+            "filtering_level": self._filter_level,
+            "plan": plan,
+            "shard_id": shard,
+            "redistribute": self.config.redistribute_intra_cluster_weight,
+        }
+
+    def _dispatch_to_workers(self, kind: str,
+                             jobs: Sequence[Tuple[ShardContext, Any]],
+                             payloads: Sequence[dict]) -> Optional[List[Any]]:
+        """Ship stale shard states + one task per job; return replies or None.
+
+        Requests interleave ``state`` refreshes (only for shards whose mirror
+        predates the current ``(mirror_epoch, hierarchy.version)`` token) with
+        the actual tasks — the executor pipelines everything per worker before
+        collecting replies.  Transport failure latches the serial fallback and
+        returns None so the caller re-runs in-parent (safe: worker tasks never
+        mutate parent state until their reply is replayed); worker *task*
+        exceptions propagate (they would have raised in-parent too).
+        """
+        executor = self._ensure_process_executor()
+        if executor is None:
+            return None
+        assert self._setup is not None
+        token = (self._mirror_epoch, self._setup.hierarchy.version)
+        requests: List[Tuple[int, str, Any]] = []
+        refreshed: List[int] = []
+        for context, _item in jobs:
+            shard = context.shard_id
+            if self._worker_sync.get(shard) != token:
+                requests.append((shard, "state", self._worker_state(shard)))
+                refreshed.append(shard)
+                # Mark at ship time so a shard appearing twice in `jobs`
+                # (never happens today — one job per shard) ships once.
+                self._worker_sync[shard] = token
+        for (context, _item), payload in zip(jobs, payloads):
+            requests.append((context.shard_id, kind, payload))
+        try:
+            replies = executor.run_tasks(requests)
+        except ExecutorUnavailableError as exc:
+            for shard in refreshed:
+                self._worker_sync.pop(shard, None)
+            self._disable_process_executor(exc)
+            return None
+        return replies[len(replies) - len(jobs):]
+
+    def _replay_update_diff(self, context: ShardContext, reply: dict) -> None:
+        """Apply a worker's update edge-diff to the shared sparsifier.
+
+        Replay order matches in-place execution: run_update only appends new
+        edges and merges weights into existing ones, so (changed weights,
+        appended tail) reproduces the exact post-batch ``_edges`` dict —
+        including insertion order, which edge_arrays() canonicalises.
+        """
+        sparsifier = self._sparsifier
+        assert sparsifier is not None
+        # run_update resyncs the filter at entry; mirror that here so the
+        # parent view buckets the batch's additions under current labels.
+        context.filter.resync()
+        cus, cvs, cws = reply["changed"]
+        for u, v, w in zip(cus.tolist(), cvs.tolist(), cws.tolist()):
+            sparsifier.set_weight(u, v, w)
+        aus, avs, aws = reply["added"]
+        for u, v, w in zip(aus.tolist(), avs.tolist(), aws.tolist()):
+            sparsifier.add_edge_unchecked(u, v, w)
+        context.filter.notify_edges_added(aus, avs)
+
+    def _replay_drop_diff(self, context: ShardContext, reply: dict) -> None:
+        """Apply a worker's drop-stage edge-diff to the shared sparsifier."""
+        sparsifier = self._sparsifier
+        assert sparsifier is not None
+        for _position, (u, v, _w) in reply["result"].removed:
+            sparsifier.remove_edge(u, v)
+            context.filter.notify_edge_removed(u, v)
+        for u, v, w in reply["changed"]:
+            sparsifier.set_weight(u, v, w)
+        for u, v, w in reply["added"]:  # pragma: no cover - drop never adds
+            sparsifier.add_edge_unchecked(u, v, w)
+            context.filter.notify_edge_added(u, v)
+
+    def _run_update_jobs_in_workers(
+        self, jobs: Sequence[Tuple[ShardContext, np.ndarray]],
+        sub_config: InGrassConfig, median: Optional[float],
+        scored: Dict[int, DistortionBatch],
+    ) -> Optional[List[UpdateResult]]:
+        """Run the per-shard update kernels on worker processes.
+
+        Returns the per-job UpdateResults (diffs already replayed into the
+        shared sparsifier), or None when the backend is unavailable so the
+        caller falls through to the in-parent paths.
+        """
+        payloads = [
+            {"triples": sub, "config": sub_config,
+             "target": self._target_condition, "median": median,
+             "scored": scored.get(id(sub))}
+            for _context, sub in jobs
+        ]
+        replies = self._dispatch_to_workers("update", jobs, payloads)
+        if replies is None:
+            return None
+        results: List[UpdateResult] = []
+        for (context, _sub), reply in zip(jobs, replies):
+            self._replay_update_diff(context, reply)
+            results.append(reply["result"])
+        return results
+
+    def _run_drop_jobs_in_workers(
+        self, jobs: Sequence[Tuple[ShardContext, List[Tuple[int, Edge]]]],
+        graph_weights: dict, config: InGrassConfig,
+    ) -> Optional[List[RemovalStage1Result]]:
+        """Run the per-shard removal drop stages on worker processes."""
+        payloads = [
+            {"items": items,
+             "graph_weights": slice_graph_weights(items, graph_weights),
+             "config": config}
+            for _context, items in jobs
+        ]
+        replies = self._dispatch_to_workers("drop", jobs, payloads)
+        if replies is None:
+            return None
+        stages: List[RemovalStage1Result] = []
+        for (context, _items), reply in zip(jobs, replies):
+            self._replay_drop_diff(context, reply)
+            stages.append(reply["result"])
+        return stages
 
     def _apply_insertions(self, new_edges: Sequence[WeightedEdge]) -> UpdateResult:
         """Insertion phase: route per shard, filter concurrently, drain escrow."""
@@ -1052,11 +1275,24 @@ class ShardedSparsifier(InGrassSparsifier):
                 distortion_median=median, scored_batch=scored.get(id(sub)),
             )
 
-        if use_threads:
+        use_processes = config.use_shard_processes(len(jobs)) and not self._process_failed
+        shard_results: Optional[List[UpdateResult]] = None
+        if use_processes:
+            shard_results = self._run_update_jobs_in_workers(
+                jobs, sub_config, median, scored)
+        if shard_results is not None:
+            mode = "processes"
+        elif use_threads:
             futures = [self._pool().submit(run_sub, context, sub) for context, sub in jobs]
             shard_results = [future.result() for future in futures]
+            mode = "threads"
         else:
             shard_results = [run_sub(context, sub) for context, sub in jobs]
+            mode = "serial"
+        if mode != "processes" and config.executor == "processes":
+            # The shard kernels ran in-parent, so every shipped mirror missed
+            # this batch's mutations — force a re-ship before the next one.
+            self._mirror_epoch += 1
         ordered: List[Tuple[ShardContext, UpdateResult]] = list(
             zip([context for context, _ in jobs], shard_results))
 
@@ -1067,7 +1303,7 @@ class ShardedSparsifier(InGrassSparsifier):
         result = self._merge_results(ordered, level)
         result.hierarchy_merges = hierarchy_merges
         result.shard_report = ShardBatchReport(
-            mode="threads" if use_threads else "serial",
+            mode=mode,
             shard_events=shard_events,
             escrow_events=escrow_events,
             replans=self._replans,
@@ -1155,11 +1391,20 @@ class ShardedSparsifier(InGrassSparsifier):
         # stage out of the concurrent region means correctness never rests
         # on the GIL-atomicity of individual dict operations.
         drop_timer = Timer().start()
-        if use_threads and len(jobs) > 1:
-            futures = [self._pool().submit(run_stage, context, items) for context, items in jobs]
-            stages = [future.result() for future in futures]
-        else:
-            stages = [run_stage(context, items) for context, items in jobs]
+        use_processes = config.use_shard_processes(populated) and not self._process_failed
+        stages: Optional[List[RemovalStage1Result]] = None
+        drop_mode = "serial"
+        if use_processes and len(jobs) > 1:
+            stages = self._run_drop_jobs_in_workers(jobs, graph_weights, config)
+            if stages is not None:
+                drop_mode = "processes"
+        if stages is None:
+            if use_threads and len(jobs) > 1:
+                futures = [self._pool().submit(run_stage, context, items) for context, items in jobs]
+                stages = [future.result() for future in futures]
+                drop_mode = "threads"
+            else:
+                stages = [run_stage(context, items) for context, items in jobs]
         if escrow_items:
             stages.append(run_stage(self._escrow, escrow_items))
         drop_timer.stop()
@@ -1192,7 +1437,7 @@ class ShardedSparsifier(InGrassSparsifier):
             )
 
         result.shard_report = ShardBatchReport(
-            mode="threads" if use_threads and len(jobs) > 1 else "serial",
+            mode=drop_mode,
             shard_events=shard_events,
             escrow_events=escrow_events,
             replans=self._replans,
@@ -1202,6 +1447,9 @@ class ShardedSparsifier(InGrassSparsifier):
         timer.stop()
         result.removal_seconds = timer.elapsed
         self._observe_routing(shard_events, escrow_events)
+        # Reconnection, splices, repair and the κ guard all ran in-parent and
+        # can touch shard-owned edges; every shipped mirror is stale now.
+        self._mirror_epoch += 1
         return result
 
     def _replay_maintenance(self, ordered: Sequence[Tuple[ShardContext, UpdateResult]],
@@ -1295,3 +1543,94 @@ class ShardedSparsifier(InGrassSparsifier):
             update_seconds=0.0,
             dropped_low_distortion=dropped,
         )
+
+    # ------------------------------------------------------------------ #
+    # Mirror staleness hooks
+    # ------------------------------------------------------------------ #
+    def _apply_weight_changes(self, changes):
+        # Direct conductance bumps mutate shard-owned edges in-parent.
+        result = super()._apply_weight_changes(changes)
+        self._mirror_epoch += 1
+        return result
+
+    def _run_guard(self):
+        # κ-guard reinsertions (rare) add shard-owned edges in-parent.
+        report = super()._run_guard()
+        if report is not None and getattr(report, "added_edges", 0):
+            self._mirror_epoch += 1
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint hooks
+    # ------------------------------------------------------------------ #
+    def _checkpoint_runtime_state(self) -> Tuple[dict, Dict[str, np.ndarray]]:
+        """Sharded driver extras: the live plan, replan counters, maintainer stats.
+
+        Shipping the plan verbatim (not re-deriving it on restore) is what
+        makes a restored driver's routing — and therefore its escrow ordering
+        and replan schedule — byte-identical to the uninterrupted run.
+        """
+        self._require_setup()
+        self._ensure_contexts()
+        plan = self._plan
+        policy = self._replan_policy
+        assert plan is not None and policy is not None
+        extra: dict = {
+            "sharding": {
+                "num_shards": int(plan.num_shards),
+                "partition_level": int(plan.partition_level),
+                "replans": int(self._replans),
+                "adaptive_replans": int(self._adaptive_replans),
+                "plan_patches": int(self._plan_patches),
+                "replan_backoff": self._replan_backoff,
+                "replan_policy": {
+                    "events": int(policy.events),
+                    "escrow_events": int(policy.escrow_events),
+                    "shard_events": [int(count) for count in policy.shard_events],
+                },
+            },
+        }
+        arrays: Dict[str, np.ndarray] = {
+            "plan_node_shard": plan.node_shard.copy(),
+        }
+        if self.config.hierarchy_mode == "maintain":
+            extra["maintainer_stats"] = asdict(self.maintenance_stats)
+            maintainer = self._ensure_maintainer()
+            if maintainer is not None:
+                pending = sorted(maintainer._splice_neighbourhood.keys())
+                arrays["pending_splices"] = np.asarray(pending, dtype=np.int64)
+        return extra, arrays
+
+    def _restore_runtime_state(self, extra: dict,
+                               arrays: Dict[str, np.ndarray]) -> None:
+        sharding = extra["sharding"]
+        self._plan = ShardPlan(
+            num_shards=int(sharding["num_shards"]),
+            partition_level=int(sharding["partition_level"]),
+            node_shard=np.asarray(arrays["plan_node_shard"], dtype=np.int64).copy(),
+        )
+        self._replans = int(sharding["replans"])
+        self._adaptive_replans = int(sharding["adaptive_replans"])
+        self._plan_patches = int(sharding["plan_patches"])
+        backoff = sharding.get("replan_backoff")
+        self._replan_backoff = int(backoff) if backoff is not None else None
+        # _ensure_contexts reuses the pre-seeded plan and rebuilds the scoped
+        # filters from the restored sparsifier — filter state is a pure
+        # function of (sparsifier edges, hierarchy labels, plan).
+        self._ensure_contexts()
+        policy_state = sharding["replan_policy"]
+        policy = self._replan_policy
+        assert policy is not None
+        policy.events = int(policy_state["events"])
+        policy.escrow_events = int(policy_state["escrow_events"])
+        policy.shard_events = [int(count) for count in policy_state["shard_events"]]
+        if self.config.hierarchy_mode == "maintain":
+            stats = extra.get("maintainer_stats")
+            if stats is not None:
+                # Fresh contexts start at zero, so the saved aggregate lands
+                # exactly once through the retirement accumulator.
+                self._retired_stats = MaintenanceStats(**stats)
+            maintainer = self._ensure_maintainer()
+            pending = arrays.get("pending_splices")
+            if maintainer is not None and pending is not None and pending.size:
+                maintainer.note_spliced_nodes(pending.tolist())

@@ -275,6 +275,18 @@ def prepare_removal_batch(graph: Graph, removals: Sequence) -> Tuple[List[Edge],
     return requested, graph_weights
 
 
+def slice_graph_weights(requested: Sequence[Tuple[int, Edge]],
+                        graph_weights: dict) -> dict:
+    """Restrict a removal batch's physical-weight map to one job's pairs.
+
+    The process executor ships each shard only the ``(u, v) -> weight``
+    entries its drop-stage items can actually read, so the per-worker payload
+    scales with the shard's slice instead of the whole batch.
+    """
+    return {pair: graph_weights[pair] for _position, pair in requested
+            if pair in graph_weights}
+
+
 @dataclass
 class RemovalStage1Result:
     """Outcome of the drop stage of one removal (sub-)batch.

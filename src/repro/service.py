@@ -145,6 +145,29 @@ class SparsifierService:
             return self._driver.refresh_setup()
 
     # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save_checkpoint(self, path) -> None:
+        """Persist the wrapped driver's state (see :mod:`repro.checkpoint`).
+
+        Takes the write lock, so the checkpoint always captures a
+        batch-consistent state — never the middle of an update.
+        """
+        with self._lock:
+            self._driver.save_checkpoint(path)
+
+    @classmethod
+    def restore(cls, path, *, max_snapshots: int = 8) -> "SparsifierService":
+        """Build a service around the driver restored from ``path``.
+
+        The restored service resumes at the saved version epoch: the next
+        applied batch continues the stream exactly where the checkpointed
+        process left off.
+        """
+        driver = InGrassSparsifier.load_checkpoint(path)
+        return cls(driver=driver, max_snapshots=max_snapshots)
+
+    # ------------------------------------------------------------------ #
     # Reader path
     # ------------------------------------------------------------------ #
     def snapshot(self, version: Optional[int] = None) -> SparsifierSnapshot:

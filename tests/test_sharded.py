@@ -37,13 +37,13 @@ from repro.streams.scenarios import DynamicScenarioConfig, build_dynamic_scenari
 DENSE_LIMIT = 600
 
 
-def make_config(num_shards=1, shard_mode="serial", hierarchy_mode="rebuild", **kwargs):
+def make_config(num_shards=1, executor="serial", hierarchy_mode="rebuild", **kwargs):
     return InGrassConfig(
         lrd=LRDConfig(seed=0),
         kappa_guard_dense_limit=DENSE_LIMIT,
         hierarchy_mode=hierarchy_mode,
         num_shards=num_shards,
-        shard_mode=shard_mode,
+        executor=executor,
         shard_batch_threshold=0,
         seed=0,
         **kwargs,
@@ -254,6 +254,52 @@ class TestMixedBatchRouting:
 
 
 # --------------------------------------------------------------------------- #
+# The execution API: executor enum, shard_mode alias, serial fallback
+# --------------------------------------------------------------------------- #
+class TestExecutorApi:
+    def test_executor_is_validated(self):
+        with pytest.raises(ValueError):
+            InGrassConfig(executor="fork-bomb")
+        for name in ("auto", "serial", "threads", "processes"):
+            assert InGrassConfig(executor=name).executor == name
+
+    def test_shard_mode_alias_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning, match="shard_mode"):
+            config = InGrassConfig(shard_mode="threads")
+        assert config.executor == "threads"
+        assert config.shard_mode == "threads"
+
+    def test_executor_does_not_warn(self, recwarn):
+        config = InGrassConfig(executor="processes")
+        deprecations = [w for w in recwarn if issubclass(w.category, DeprecationWarning)]
+        assert not deprecations
+        # The legacy field mirrors the new one so old readers keep working.
+        assert config.shard_mode == "processes"
+
+    def test_unavailable_executor_falls_back_to_serial(self, churn_scenario,
+                                                       monkeypatch, caplog):
+        """A backend that cannot start degrades with a warning, not a crash."""
+        from repro.core import sharding as sharding_module
+        from repro.core.executors import ExecutorUnavailableError
+
+        class BrokenExecutor:
+            def __init__(self, *args, **kwargs):
+                raise ExecutorUnavailableError("no worker processes today")
+
+        monkeypatch.setattr(sharding_module, "ProcessShardExecutor", BrokenExecutor)
+        oracle, oracle_decisions, _ = run_stream(
+            churn_scenario, make_config(kappa_guard_factor=1.8))
+        config = make_config(num_shards=2, executor="processes", kappa_guard_factor=1.8)
+        with caplog.at_level("WARNING", logger="repro.core.sharding"):
+            driver, decisions, _ = run_stream(churn_scenario, config)
+        assert driver._process_failed
+        assert "falling back to serial" in caplog.text
+        # The degraded run still delivers the oracle guarantee.
+        assert dict(driver.sparsifier._edges) == dict(oracle.sparsifier._edges)
+        assert sorted(decisions, key=repr) == sorted(oracle_decisions, key=repr)
+
+
+# --------------------------------------------------------------------------- #
 # Shard-count invariance (the oracle guarantee)
 # --------------------------------------------------------------------------- #
 class TestShardParity:
@@ -266,10 +312,12 @@ class TestShardParity:
         return outcomes
 
     @pytest.mark.parametrize("hierarchy_mode", ["rebuild", "maintain"])
-    @pytest.mark.parametrize("num_shards,shard_mode", [(2, "serial"), (4, "serial"), (2, "threads")])
-    def test_stream_invariance(self, churn_scenario, oracles, hierarchy_mode, num_shards, shard_mode):
+    @pytest.mark.parametrize("num_shards,executor",
+                             [(2, "serial"), (4, "serial"), (2, "threads"),
+                              (1, "processes"), (2, "processes"), (4, "processes")])
+    def test_stream_invariance(self, churn_scenario, oracles, hierarchy_mode, num_shards, executor):
         oracle, oracle_decisions, oracle_kappa = oracles[hierarchy_mode]
-        config = make_config(num_shards=num_shards, shard_mode=shard_mode,
+        config = make_config(num_shards=num_shards, executor=executor,
                              hierarchy_mode=hierarchy_mode, kappa_guard_factor=1.8)
         driver, decisions, kappa = run_stream(churn_scenario, config)
         # Bit-exact sparsifier: same edge set, same weights.
@@ -286,11 +334,13 @@ class TestShardParity:
         insertions = [edge for batch in churn_scenario.batches for edge in batch.insertions]
         oracle = InGrassSparsifier(make_config())
         sharded = ShardedSparsifier(make_config(num_shards=3))
-        for driver in (oracle, sharded):
+        processes = ShardedSparsifier(make_config(num_shards=2, executor="processes"))
+        for driver in (oracle, sharded, processes):
             driver.setup(churn_scenario.graph, churn_scenario.initial_sparsifier,
                          target_condition_number=churn_scenario.initial_condition_number)
             driver.update(insertions)
         assert dict(sharded.sparsifier._edges) == dict(oracle.sparsifier._edges)
+        assert dict(processes.sparsifier._edges) == dict(oracle.sparsifier._edges)
 
     def test_distortion_threshold_uses_global_median(self, churn_scenario):
         """The relative threshold cut is shard-count invariant (global median)."""
@@ -356,13 +406,14 @@ class TestShardedRemoval:
         return outcomes
 
     @pytest.mark.parametrize("hierarchy_mode", ["rebuild", "maintain"])
-    @pytest.mark.parametrize("num_shards,shard_mode",
-                             [(2, "serial"), (4, "serial"), (2, "threads"), (3, "threads")])
+    @pytest.mark.parametrize("num_shards,executor",
+                             [(2, "serial"), (4, "serial"), (2, "threads"), (3, "threads"),
+                              (2, "processes"), (4, "processes")])
     def test_deletion_heavy_parity(self, deletion_heavy_scenario, oracles,
-                                   hierarchy_mode, num_shards, shard_mode):
+                                   hierarchy_mode, num_shards, executor):
         """Bit-exact oracle parity on deletion-heavy mixed streams."""
         oracle, oracle_decisions, oracle_kappa = oracles[hierarchy_mode]
-        config = make_config(num_shards=num_shards, shard_mode=shard_mode,
+        config = make_config(num_shards=num_shards, executor=executor,
                              hierarchy_mode=hierarchy_mode, kappa_guard_factor=1.8)
         driver, decisions, kappa = run_stream(deletion_heavy_scenario, config)
         assert dict(driver.sparsifier._edges) == dict(oracle.sparsifier._edges)
@@ -392,8 +443,8 @@ class TestShardedRemoval:
     def test_threaded_removal_stage_matches_serial(self, deletion_heavy_scenario):
         """Forcing the drop stage onto the thread pool changes nothing."""
         outcomes = []
-        for shard_mode in ("serial", "threads"):
-            driver = ShardedSparsifier(make_config(num_shards=3, shard_mode=shard_mode,
+        for executor in ("serial", "threads"):
+            driver = ShardedSparsifier(make_config(num_shards=3, executor=executor,
                                                    hierarchy_mode="maintain"))
             driver.setup(deletion_heavy_scenario.graph,
                          deletion_heavy_scenario.initial_sparsifier,
@@ -558,19 +609,20 @@ class TestReplanPolicy:
 
 
 class TestAdaptiveReplans:
-    def _adaptive_config(self, num_shards, shard_mode="serial", **kwargs):
+    def _adaptive_config(self, num_shards, executor="serial", **kwargs):
         # Thresholds tuned to fire on essentially any realised escrow traffic,
         # so the short test streams replan several times.
-        return make_config(num_shards=num_shards, shard_mode=shard_mode,
+        return make_config(num_shards=num_shards, executor=executor,
                            hierarchy_mode="maintain",
                            replan_escrow_fraction=0.01, replan_min_events=1,
                            **kwargs)
 
-    @pytest.mark.parametrize("num_shards,shard_mode", [(3, "serial"), (2, "threads")])
-    def test_replans_preserve_oracle_guarantee(self, churn_scenario, num_shards, shard_mode):
+    @pytest.mark.parametrize("num_shards,executor",
+                             [(3, "serial"), (2, "threads"), (2, "processes")])
+    def test_replans_preserve_oracle_guarantee(self, churn_scenario, num_shards, executor):
         oracle_cfg = make_config(hierarchy_mode="maintain", kappa_guard_factor=1.8)
         oracle, oracle_decisions, oracle_kappa = run_stream(churn_scenario, oracle_cfg)
-        config = self._adaptive_config(num_shards, shard_mode, kappa_guard_factor=1.8)
+        config = self._adaptive_config(num_shards, executor, kappa_guard_factor=1.8)
         driver, decisions, kappa = run_stream(churn_scenario, config)
         assert driver.adaptive_replans > 0, "test stream must actually trigger replans"
         assert dict(driver.sparsifier._edges) == dict(oracle.sparsifier._edges)
