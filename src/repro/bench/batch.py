@@ -19,6 +19,7 @@ objects would otherwise dominate the signal being measured.
 from __future__ import annotations
 
 import argparse
+import copy
 import gc
 import json
 import platform
@@ -47,7 +48,14 @@ TARGET_CONDITION = 64.0
 
 def _timed_update(sparsifier: Graph, setup, stream: Sequence, config: InGrassConfig,
                   filtering_level: int) -> tuple[float, Graph, object]:
-    """One run_update call on a fresh sparsifier copy; returns (seconds, H, result)."""
+    """One run_update call on a fresh sparsifier copy; returns (seconds, H, result).
+
+    The setup is deep-copied so repeated timings start from identical state:
+    in ``hierarchy_mode="maintain"`` the update mutates the hierarchy in
+    place (cluster merges), which would otherwise leak between repetitions
+    and between the engines being compared.
+    """
+    setup = copy.deepcopy(setup)
     working = sparsifier.copy()
     similarity_filter = SimilarityFilter(
         working, setup.hierarchy, filtering_level,
@@ -97,7 +105,12 @@ def run_batch_bench(sizes: Sequence[int] = DEFAULT_SIZES, *, case: str = "g2_cir
         row: Dict = {"batch_size": int(size)}
         edge_sets: Dict[str, set] = {}
         for mode in ("scalar", "vectorized"):
-            config = InGrassConfig(lrd=LRDConfig(seed=seed), batch_mode=mode, seed=seed)
+            # Pinned to rebuild: this bench isolates the batch insertion
+            # engine, and its committed baseline lineage was measured in
+            # rebuild mode (maintain-mode splice costs are the churn
+            # benchmark's subject, not this one's).
+            config = InGrassConfig(lrd=LRDConfig(seed=seed), batch_mode=mode,
+                                   hierarchy_mode="rebuild", seed=seed)
             mode_repeats = max(1, repeats if size <= 10_000 else 1)
             best = float("inf")
             summary = None

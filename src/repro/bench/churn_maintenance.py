@@ -46,6 +46,11 @@ DEFAULT_BASELINE_PATH = Path("benchmarks") / "baselines" / "churn_baseline.json"
 #: stream pays several full re-setups (the cost the maintenance mode avoids).
 DEFAULT_RESETUP_AFTER = 12
 
+#: Maintain mode must stay within this factor of rebuild mode per event —
+#: the machine-independent parity bound backing the maintain-by-default
+#: configuration (``InGrassConfig.hierarchy_mode="maintain"``).
+PER_EVENT_PARITY_LIMIT = 1.10
+
 
 def _mode_payload(record: ChurnRecord) -> Dict:
     events = record.insertions + record.deletions
@@ -55,6 +60,9 @@ def _mode_payload(record: ChurnRecord) -> Dict:
         "update_seconds": record.ingrass_seconds,
         "resetup_seconds": record.resetup_seconds,
         "maintenance_seconds": record.maintenance_seconds,
+        "splice_seconds": record.splice_seconds,
+        "diameter_seconds": record.diameter_seconds,
+        "rekey_seconds": record.rekey_seconds,
         "per_event_us": (seconds / events * 1e6) if events else 0.0,
         "kappa_target": record.target_condition_number,
         "kappa_max": record.max_condition_number,
@@ -84,6 +92,9 @@ def run_churn_maintenance_bench(*, case: str = "g2_circuit", scale: str = "small
         results[mode] = _mode_payload(record)
 
     maintain, rebuild = results["maintain"], results["rebuild"]
+    per_event_ratio = (maintain["per_event_us"] / rebuild["per_event_us"]
+                       if rebuild["per_event_us"] else float("inf"))
+    maintain["per_event_ratio"] = per_event_ratio
     acceptance = {
         "maintain_zero_resetups": maintain["full_resetups"] == 0,
         "rebuild_resetups_ge_2": rebuild["full_resetups"] >= 2,
@@ -91,6 +102,10 @@ def run_churn_maintenance_bench(*, case: str = "g2_circuit", scale: str = "small
         # guard-bounded, the check catches a structurally degraded hierarchy.
         "kappa_no_worse": maintain["kappa_final"] <= rebuild["kappa_final"] * 1.10 + 1e-9,
         "stayed_connected": maintain["stayed_connected"] and rebuild["stayed_connected"],
+        # Per-event parity backing the maintain-by-default flip: the two
+        # modes run on the same machine in one process, so the ratio is
+        # machine-independent.
+        "maintain_per_event_ratio": per_event_ratio <= PER_EVENT_PARITY_LIMIT + 1e-9,
     }
     return {
         "meta": {
@@ -126,6 +141,8 @@ def print_results(payload: Dict) -> str:
                 "Update (s)": row["update_seconds"],
                 "Resetup (s)": row["resetup_seconds"],
                 "Maint (s)": row["maintenance_seconds"],
+                "Splice (s)": row["splice_seconds"],
+                "Rekey (s)": row["rekey_seconds"],
                 "kappa final": row["kappa_final"],
                 "kappa max": row["kappa_max"],
                 "Splices": row["hierarchy_splices"],
@@ -149,6 +166,8 @@ def distil_baseline(payload: Dict) -> Dict:
         "generated": meta.get("timestamp"),
         "maintain_per_event_us": maintain["per_event_us"],
         "rebuild_per_event_us": rebuild["per_event_us"],
+        "maintain_per_event_ratio": (maintain["per_event_us"] / rebuild["per_event_us"]
+                                     if rebuild["per_event_us"] else float("inf")),
         "kappa_final_maintain": maintain["kappa_final"],
         "kappa_final_rebuild": rebuild["kappa_final"],
     }
@@ -177,6 +196,14 @@ def check_regression(payload: Dict, baseline: Optional[Dict], *,
         )
     if not (maintain["stayed_connected"] and rebuild["stayed_connected"]):
         failures.append("a sparsifier disconnected during the stream")
+    if rebuild["per_event_us"]:
+        measured_parity = maintain["per_event_us"] / rebuild["per_event_us"]
+        if measured_parity > PER_EVENT_PARITY_LIMIT + 1e-9:
+            failures.append(
+                f"maintain/rebuild per-event ratio {measured_parity:.3f} exceeds the "
+                f"parity limit {PER_EVENT_PARITY_LIMIT:.2f} backing the "
+                "maintain-by-default configuration"
+            )
     kappa_limit = rebuild["kappa_final"] * (1.0 + kappa_slack) + 1e-9
     if maintain["kappa_final"] > kappa_limit:
         failures.append(

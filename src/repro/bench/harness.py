@@ -377,6 +377,9 @@ def run_churn_case(name: str, config: Optional[HarnessConfig] = None, *,
         full_resetups=ingrass.full_resetups,
         resetup_seconds=ingrass.resetup_seconds,
         maintenance_seconds=maintenance.maintenance_seconds,
+        splice_seconds=maintenance.splice_seconds,
+        diameter_seconds=maintenance.diameter_seconds,
+        rekey_seconds=maintenance.rekey_seconds,
         hierarchy_splices=maintenance.splices,
         hierarchy_merges=maintenance.merges,
     )

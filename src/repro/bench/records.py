@@ -150,6 +150,12 @@ class ChurnRecord:
     resetup_seconds: float = 0.0
     #: Wall-clock spent inside the hierarchy maintainer (maintain mode).
     maintenance_seconds: float = 0.0
+    #: Per-phase breakdown of ``maintenance_seconds``: removal-splice passes,
+    #: fragment-diameter analysis (subset of the splice passes), and filter
+    #: bucket re-keying (unregister/re-register around splices and merges).
+    splice_seconds: float = 0.0
+    diameter_seconds: float = 0.0
+    rekey_seconds: float = 0.0
     #: Clusters spliced / fused by the maintainer (maintain mode).
     hierarchy_splices: int = 0
     hierarchy_merges: int = 0

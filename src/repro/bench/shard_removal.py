@@ -74,12 +74,21 @@ DISTORTION_THRESHOLD = 1.0
 
 
 def _engine_config(seed: int, num_shards: int, shard_mode: str) -> InGrassConfig:
-    """The perf-tuned pipeline configuration shared by every execution."""
+    """The perf-tuned pipeline configuration shared by every execution.
+
+    Pinned to ``hierarchy_mode="rebuild"``: this bench isolates the sharded
+    drop/repair machinery, and its committed baseline lineage was measured
+    in rebuild mode.  At this batch scale (~3.7k deletions per batch against
+    a ~15k-edge sparsifier) maintain-mode splice work would dominate the
+    wall-clock and drown the drop-stage signal; the maintain-vs-rebuild
+    economics have their own gate in :mod:`repro.bench.churn_maintenance`.
+    """
     return InGrassConfig(
         lrd=LRDConfig(seed=seed),
         batch_mode="vectorized",
         decision_records="arrays",
         distortion_threshold=DISTORTION_THRESHOLD,
+        hierarchy_mode="rebuild",
         num_shards=num_shards,
         shard_mode=shard_mode,
         shard_batch_threshold=0,
@@ -252,6 +261,8 @@ def distil_baseline(payload: Dict) -> Dict:
         "oracle_engine_seconds": by_mode["oracle"]["engine_seconds"],
         "serial_pipeline_seconds": by_mode[f"shards{shards}-serial"]["pipeline_seconds"],
         "threads_engine_seconds": by_mode[f"shards{shards}-threads"]["engine_seconds"],
+        "serial_drop_seconds": by_mode[f"shards{shards}-serial"]["drop_seconds"],
+        "threads_drop_seconds": by_mode[f"shards{shards}-threads"]["drop_seconds"],
         "engine_speedup_threads": payload.get("engine_speedup_threads"),
         "overhead_serial_sharding": payload.get("overhead_serial_sharding"),
     }

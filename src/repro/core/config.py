@@ -125,15 +125,18 @@ class InGrassConfig:
         honoured in ``hierarchy_mode="rebuild"``: the maintenance mode keeps
         the hierarchy accurate structurally and never pays a full re-setup.
     hierarchy_mode:
-        How the LRD hierarchy tracks sparsifier mutations.  ``"rebuild"``
-        (default, the PR 1 behaviour) inflates cluster diameters per removal
-        and relies on ``resetup_after_removals`` to periodically rebuild the
-        whole hierarchy; ``"maintain"`` splices clusters in place through
+        How the LRD hierarchy tracks sparsifier mutations.  ``"maintain"``
+        (default) splices clusters in place through
         :class:`repro.core.maintenance.HierarchyMaintainer` — splitting
         clusters whose interior lost connectivity, recomputing diameters
         locally and fusing clusters joined by admitted edges — so long churn
         streams never pay a full ``O(m log n)`` re-setup and the resistance
-        bounds stay tight between batches.
+        bounds stay tight between batches.  ``"rebuild"`` (the PR 1
+        behaviour, default through PR 8) inflates cluster diameters per
+        removal and relies on ``resetup_after_removals`` to periodically
+        rebuild the whole hierarchy; pin it for streams whose per-batch
+        removal volume is so large that structural splices cost more than a
+        periodic re-setup.
     maintenance_exact_limit:
         Maintenance mode: cluster size up to which splices run a localized
         re-decomposition with exact fragment diameters; larger clusters use
@@ -189,17 +192,18 @@ class InGrassConfig:
         :class:`~repro.core.sharding.ShardPlan` was derived) exceeds this
         threshold, the plan is re-derived from the current tracked graph —
         the stream's locality has drifted away from the partition and the
-        Fiedler sweep can find a better one.  ``None`` (default) disables
-        the trigger; the plan then only re-derives on invariant violations
-        (cross-shard cluster fusions).  Replans never change results (the
-        oracle guarantee is plan-independent), only routing efficiency.
+        Fiedler sweep can find a better one.  Defaults to ``0.5`` (armed);
+        ``None`` disables the trigger, leaving the plan to re-derive only on
+        invariant violations (cross-shard cluster fusions).  Replans never
+        change results (the oracle guarantee is plan-independent), only
+        routing efficiency.
     replan_imbalance:
         Adaptive replanning: once the realised per-shard event imbalance —
         the busiest shard's intra-shard event share divided by the ideal
         ``1 / num_shards`` share, accumulated since the current plan —
-        exceeds this factor, the plan is re-derived.  ``None`` (default)
-        disables the trigger; values must be ≥ 1 (1 would replan on any
-        deviation from perfect balance).
+        exceeds this factor, the plan is re-derived.  Defaults to ``2.0``
+        (armed); ``None`` disables the trigger.  Values must be ≥ 1 (1
+        would replan on any deviation from perfect balance).
     replan_min_events:
         Adaptive replanning: events that must accumulate under the current
         plan before either trigger arms, so a handful of unlucky batches
@@ -226,7 +230,7 @@ class InGrassConfig:
     kappa_guard_batch: int = 8
     kappa_guard_dense_limit: int = 1500
     resetup_after_removals: Optional[int] = None
-    hierarchy_mode: str = "rebuild"
+    hierarchy_mode: str = "maintain"
     maintenance_exact_limit: int = 64
     decision_records: str = "objects"
     batch_mode: str = "auto"
@@ -235,8 +239,8 @@ class InGrassConfig:
     executor: Optional[str] = None
     shard_mode: Optional[str] = None
     shard_batch_threshold: int = 4096
-    replan_escrow_fraction: Optional[float] = None
-    replan_imbalance: Optional[float] = None
+    replan_escrow_fraction: Optional[float] = 0.5
+    replan_imbalance: Optional[float] = 2.0
     replan_min_events: int = 256
     seed: SeedLike = 0
 

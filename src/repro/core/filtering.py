@@ -287,8 +287,8 @@ class SimilarityFilter:
         """Scan the sparsifier once and index its edges by cluster pair."""
         self._connectivity.clear()
         self._intra_cluster_edges.clear()
-        for u, v in self._sparsifier.edges():
-            self._register_edge(u, v)
+        us, vs, _weights = self._sparsifier.edge_arrays()
+        self._register_pairs(us, vs)
 
     def _register_edge(self, u: int, v: int) -> None:
         """Index one sparsifier edge in the connectivity map."""
@@ -403,6 +403,97 @@ class SimilarityFilter:
     # ------------------------------------------------------------------ #
     # Cluster-rename protocol for the hierarchy maintenance layer
     # ------------------------------------------------------------------ #
+    def _scope_mask(self, us: np.ndarray, vs: np.ndarray) -> Optional[np.ndarray]:
+        """Boolean ownership mask for bulk operations (``None`` = own all).
+
+        The base filter owns every sparsifier edge; shard-scoped subclasses
+        override this with their plan lookup so the shared bulk register /
+        unregister kernels below stay the single implementation.
+        """
+        return None
+
+    def incident_edge_arrays(self, nodes) -> Tuple[np.ndarray, np.ndarray]:
+        """Canonical ``(u, v)`` arrays of every sparsifier edge touching ``nodes``.
+
+        Gathered from the sparsifier's cached CSR view in one shot —
+        deduplicated and sorted by canonical key.  Cost is proportional to
+        the degree sum of ``nodes``, with no per-node adjacency-dict copies.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        empty = np.empty(0, dtype=np.int64)
+        if nodes.size == 0:
+            return empty, empty
+        csr = self._sparsifier.csr_view()
+        starts = csr.indptr[nodes]
+        counts = csr.indptr[nodes + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return empty, empty
+        ends = np.cumsum(counts)
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+        cols = csr.indices[np.repeat(starts, counts) + offsets].astype(np.int64, copy=False)
+        rows = np.repeat(nodes, counts)
+        lo = np.minimum(rows, cols)
+        hi = np.maximum(rows, cols)
+        keys = (lo << np.int64(32)) | hi
+        _, first = np.unique(keys, return_index=True)
+        return lo[first], hi[first]
+
+    def _register_pairs(self, us: np.ndarray, vs: np.ndarray) -> None:
+        """Bulk :meth:`_register_edge` over canonical endpoint arrays.
+
+        Cluster labels are gathered with one vectorised lookup; the bucket
+        dict updates themselves replay the scalar path, so bucket *contents*
+        are identical to per-edge registration (insertion order within a
+        bucket is not part of the filter's contract — representatives and
+        redistribution are content-canonical).
+        """
+        mask = self._scope_mask(us, vs)
+        if mask is not None:
+            us, vs = us[mask], vs[mask]
+        if us.size == 0:
+            return
+        labels = self._labels
+        cluster_us = labels[us]
+        cluster_vs = labels[vs]
+        pair_los = np.minimum(cluster_us, cluster_vs).tolist()
+        pair_his = np.maximum(cluster_us, cluster_vs).tolist()
+        connectivity = self._connectivity
+        intra = self._intra_cluster_edges
+        for u, v, p, q in zip(us.tolist(), vs.tolist(), pair_los, pair_his):
+            if p == q:
+                intra[p][(u, v)] = None
+            else:
+                connectivity.setdefault((p, q), {})[(u, v)] = None
+
+    def _unregister_pairs(self, us: np.ndarray, vs: np.ndarray) -> None:
+        """Bulk :meth:`_unregister_edge` over canonical endpoint arrays."""
+        mask = self._scope_mask(us, vs)
+        if mask is not None:
+            us, vs = us[mask], vs[mask]
+        if us.size == 0:
+            return
+        labels = self._labels
+        cluster_us = labels[us]
+        cluster_vs = labels[vs]
+        pair_los = np.minimum(cluster_us, cluster_vs).tolist()
+        pair_his = np.maximum(cluster_us, cluster_vs).tolist()
+        connectivity = self._connectivity
+        intra = self._intra_cluster_edges
+        for u, v, p, q in zip(us.tolist(), vs.tolist(), pair_los, pair_his):
+            if p == q:
+                bucket = intra.get(p)
+                if bucket is not None:
+                    bucket.pop((u, v), None)
+                    if not bucket:
+                        del intra[p]
+            else:
+                bucket = connectivity.get((p, q))
+                if bucket is not None:
+                    bucket.pop((u, v), None)
+                    if not bucket:
+                        del connectivity[(p, q)]
+
     def unregister_incident_edges(self, nodes) -> List[Tuple[int, int]]:
         """Pop every sparsifier edge incident to ``nodes`` from the map.
 
@@ -413,14 +504,9 @@ class SimilarityFilter:
         :meth:`register_edges`.  Cost is proportional to the degree sum of
         ``nodes`` — the local neighbourhood, not the sparsifier.
         """
-        edges: Dict[Tuple[int, int], None] = {}
-        adjacency_of = self._sparsifier.neighbors
-        for node in np.asarray(nodes, dtype=np.int64).tolist():
-            for neighbor in adjacency_of(node):
-                edges[canonical_edge(node, int(neighbor))] = None
-        for u, v in edges:
-            self._unregister_edge(u, v)
-        return list(edges)
+        us, vs = self.incident_edge_arrays(nodes)
+        self._unregister_pairs(us, vs)
+        return list(zip(us.tolist(), vs.tolist()))
 
     def register_edges(self, edges: Sequence[Tuple[int, int]]) -> None:
         """Re-index edges under the (re-labelled) current clusters.
@@ -428,8 +514,12 @@ class SimilarityFilter:
         Second half of the re-keying protocol; see
         :meth:`unregister_incident_edges`.
         """
-        for u, v in edges:
-            self._register_edge(u, v)
+        if not len(edges):
+            return
+        pairs = np.asarray(edges, dtype=np.int64)
+        us = np.minimum(pairs[:, 0], pairs[:, 1])
+        vs = np.maximum(pairs[:, 0], pairs[:, 1])
+        self._register_pairs(us, vs)
 
     def mark_synced(self) -> None:
         """Record that the map reflects the hierarchy's current labels."""
@@ -460,20 +550,30 @@ class SimilarityFilter:
         edges = sorted(self._intra_cluster_edges.get(cluster, {}))
         if not edges:
             return None
-        current_weights = np.array([self._sparsifier.weight(u, v) for u, v in edges])
+        # Keys in the bucket are canonical, so the weights can be gathered
+        # straight from the edge map (same floats as ``Graph.weight``,
+        # without its per-call canonicalisation/validation overhead).
+        edge_map = self._sparsifier._edges
+        current_weights = np.fromiter((edge_map[edge] for edge in edges),
+                                      dtype=float, count=len(edges))
         total = current_weights.sum()
         if total <= 0:
             return None
         return edges, np.maximum(weight * (current_weights / total), 1e-300)
 
     def _redistribute_weight(self, cluster: int, weight: float) -> None:
-        """Spread ``weight`` proportionally over the sparsifier edges inside ``cluster``."""
+        """Spread ``weight`` proportionally over the sparsifier edges inside ``cluster``.
+
+        Applied through :meth:`~repro.graphs.graph.Graph.increase_weights`,
+        which adds the same per-edge deltas in the same order as a scalar
+        ``increase_weight`` loop (bit-identical floats) while validating the
+        batch once and invalidating the cached views once.
+        """
         spread = self._redistribution_deltas(cluster, weight)
         if spread is None:
             return
         edges, deltas = spread
-        for (u, v), delta in zip(edges, deltas):
-            self._sparsifier.increase_weight(u, v, delta)
+        self._sparsifier.increase_weights(edges, deltas)
 
     def _redistribute_weight_bulk(self, cluster: int, weight: float) -> None:
         """Aggregated :meth:`_redistribute_weight`: one pass over the cluster.

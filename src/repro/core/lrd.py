@@ -148,7 +148,7 @@ def induced_subgraph(graph: Graph, nodes: np.ndarray) -> Tuple[Graph, np.ndarray
     return sub, nodes
 
 
-def _tree_diameter_bound(subgraph: Graph) -> float:
+def _tree_diameter_bound_csr(adjacency) -> float:
     """Resistance-diameter upper bound via a minimum-resistance spanning tree.
 
     For any spanning tree ``T`` of the (connected) subgraph, the effective
@@ -158,12 +158,15 @@ def _tree_diameter_bound(subgraph: Graph) -> float:
     bound reasonably tight; MST and the classic double-sweep diameter both
     run in scipy's C layer, which is what makes this the cheap path for
     clusters too large for exact all-pairs resistances.
+
+    ``adjacency`` is the symmetric weighted CSR adjacency of the subgraph; it
+    is not modified.
     """
     from scipy.sparse.csgraph import dijkstra, minimum_spanning_tree
 
-    if subgraph.num_edges == 0:
+    if adjacency.nnz == 0:
         return 0.0
-    lengths = subgraph.adjacency_matrix()
+    lengths = adjacency.copy()
     lengths.data = 1.0 / lengths.data
     tree = minimum_spanning_tree(lengths)
     # Double sweep: the farthest node from an arbitrary root, then the
@@ -174,21 +177,63 @@ def _tree_diameter_bound(subgraph: Graph) -> float:
     return float(np.max(second[np.isfinite(second)]))
 
 
-def _exact_diameter(subgraph: Graph) -> float:
+def _dense_laplacian(adjacency) -> np.ndarray:
+    """Dense Laplacian of a CSR adjacency without sparse intermediates.
+
+    Negating the dense adjacency and writing the row sums on the (empty)
+    diagonal produces exactly the floats of ``(diags(deg) - A).toarray()`` —
+    negation and assignment are exact, and the degrees come from the sparse
+    row sum so the accumulation order over stored entries is unchanged
+    (a dense ``sum(axis=1)`` would pairwise-sum over interleaved zeros and
+    round differently) — while skipping the sparse construction overhead
+    that dominates at the small sizes the exact diameter path runs on.
+    """
+    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    laplacian = -adjacency.toarray()
+    # Negating the implicit zeros produced ``-0.0``; adding ``+0.0``
+    # canonicalises them back (LAPACK's SVD is bit-sensitive to the sign of
+    # zero) while leaving every other entry untouched.
+    laplacian += 0.0
+    np.fill_diagonal(laplacian, degrees)
+    return laplacian
+
+
+def _exact_diameter_csr(adjacency) -> float:
     """Exact resistance diameter of a (small, connected) subgraph.
 
     One dense pseudo-inverse of the Laplacian gives all pairwise resistances
     at once (``R[p, q] = L⁺[p, p] + L⁺[q, q] - 2 L⁺[p, q]``) — for the
     cluster sizes this is used on, orders of magnitude cheaper than per-pair
-    grounded solves.
+    grounded solves.  ``adjacency`` is the symmetric weighted CSR adjacency.
     """
-    n = subgraph.num_nodes
-    if n < 2 or subgraph.num_edges == 0:
+    n = adjacency.shape[0]
+    if n < 2 or adjacency.nnz == 0:
         return 0.0
-    pseudo = np.linalg.pinv(subgraph.laplacian_matrix().toarray())
+    pseudo = np.linalg.pinv(_dense_laplacian(adjacency))
     diagonal = np.diag(pseudo)
     resistances = diagonal[:, None] + diagonal[None, :] - 2.0 * pseudo
     return float(max(resistances.max(), 0.0))
+
+
+def _subgraph_diameter_bound_csr(adjacency, exact_limit: int) -> float:
+    """Diameter bound of an already-extracted, connected CSR adjacency."""
+    if adjacency.shape[0] <= exact_limit:
+        return _exact_diameter_csr(adjacency)
+    return _tree_diameter_bound_csr(adjacency)
+
+
+def _tree_diameter_bound(subgraph: Graph) -> float:
+    """Graph-object wrapper over :func:`_tree_diameter_bound_csr`."""
+    if subgraph.num_edges == 0:
+        return 0.0
+    return _tree_diameter_bound_csr(subgraph.csr_view())
+
+
+def _exact_diameter(subgraph: Graph) -> float:
+    """Graph-object wrapper over :func:`_exact_diameter_csr`."""
+    if subgraph.num_nodes < 2 or subgraph.num_edges == 0:
+        return 0.0
+    return _exact_diameter_csr(subgraph.csr_view())
 
 
 def _subgraph_diameter_bound(subgraph: Graph, exact_limit: int) -> float:
@@ -220,49 +265,67 @@ def cluster_diameter_bound(graph: Graph, nodes: np.ndarray, *, exact_limit: int 
     return _subgraph_diameter_bound(subgraph, exact_limit)
 
 
-def fragment_diameters(subgraph: Graph, local_fragments: List[np.ndarray],
-                       exact_limit: int) -> List[float]:
-    """Diameter bound for each (connected) fragment of an induced subgraph.
+def fragment_diameters_csr(adjacency, local_fragments: List[np.ndarray],
+                           exact_limit: int) -> List[float]:
+    """Diameter bound for each (connected) fragment of a CSR adjacency.
 
-    ``local_fragments`` hold local node ids of ``subgraph``; a fragment that
-    covers the whole subgraph is bounded without re-extraction, others get
-    their own induced sub-subgraph.  Shared by the contraction-based and the
-    connectivity-based splitting paths so the single-fragment special case
-    lives in exactly one place.
+    ``local_fragments`` hold row/column indices of ``adjacency``; a fragment
+    that covers the whole matrix is bounded without re-slicing, others get a
+    ``adjacency[f][:, f]`` submatrix — bit-identical to rebuilding the induced
+    subgraph's own adjacency because CSR content depends only on the edge set.
     """
     diameters: List[float] = []
     for fragment in local_fragments:
         if fragment.shape[0] <= 1:
             diameters.append(0.0)
         elif len(local_fragments) == 1:
-            diameters.append(_subgraph_diameter_bound(subgraph, exact_limit))
+            diameters.append(_subgraph_diameter_bound_csr(adjacency, exact_limit))
         else:
-            fragment_subgraph, _ = induced_subgraph(subgraph, fragment)
-            diameters.append(_subgraph_diameter_bound(fragment_subgraph, exact_limit))
+            block = adjacency[fragment][:, fragment]
+            diameters.append(_subgraph_diameter_bound_csr(block, exact_limit))
     return diameters
+
+
+def fragment_diameters(subgraph: Graph, local_fragments: List[np.ndarray],
+                       exact_limit: int) -> List[float]:
+    """Diameter bound for each (connected) fragment of an induced subgraph.
+
+    ``local_fragments`` hold local node ids of ``subgraph``.  Shared by the
+    contraction-based and the connectivity-based splitting paths so the
+    single-fragment special case lives in exactly one place; delegates to the
+    CSR kernel so both call styles share one implementation.
+    """
+    return fragment_diameters_csr(subgraph.csr_view(), local_fragments, exact_limit)
+
+
+def _local_components_csr(adjacency) -> List[np.ndarray]:
+    """Connected components of a CSR adjacency as index arrays (largest first).
+
+    ``scipy.sparse.csgraph.connected_components`` labels components in
+    ascending order of their smallest member, and a stable argsort over the
+    labels keeps each component's members ascending — exactly the ordering
+    the original python BFS produced (scan from node 0, ``sorted`` members,
+    stable largest-first sort).
+    """
+    from scipy.sparse.csgraph import connected_components
+
+    n = adjacency.shape[0]
+    if n == 0:
+        return []
+    num_components, labels = connected_components(adjacency, directed=False)
+    if num_components == 1:
+        return [np.arange(n, dtype=np.int64)]
+    order = np.argsort(labels, kind="stable")
+    boundaries = np.flatnonzero(np.diff(labels[order])) + 1
+    components = [members.astype(np.int64, copy=False)
+                  for members in np.split(order, boundaries)]
+    components.sort(key=len, reverse=True)
+    return components
 
 
 def _local_components(subgraph: Graph) -> List[np.ndarray]:
     """Connected components of a small graph as local-id arrays (largest first)."""
-    n = subgraph.num_nodes
-    seen = np.zeros(n, dtype=bool)
-    components: List[np.ndarray] = []
-    for start in range(n):
-        if seen[start]:
-            continue
-        stack = [start]
-        seen[start] = True
-        members = [start]
-        while stack:
-            node = stack.pop()
-            for neighbor in subgraph.neighbors(node):
-                if not seen[neighbor]:
-                    seen[neighbor] = True
-                    stack.append(int(neighbor))
-                    members.append(int(neighbor))
-        components.append(np.array(sorted(members), dtype=np.int64))
-    components.sort(key=len, reverse=True)
-    return components
+    return _local_components_csr(subgraph.csr_view())
 
 
 def decompose_node_subset(sparsifier: Graph, nodes: np.ndarray, threshold: float,
@@ -327,13 +390,36 @@ def decompose_node_subset(sparsifier: Graph, nodes: np.ndarray, threshold: float
                 raise ValueError("atom_diameters must align with the unique atom labels")
 
     # Quotient of the induced subgraph by the atoms (S3 of the fresh
-    # decomposition), so contraction happens between atomic units.
+    # decomposition), so contraction happens between atomic units.  Parallel
+    # edges are merged with ``np.add.at`` — its unbuffered sequential adds
+    # reproduce the scalar ``merge="add"`` accumulation order exactly — and
+    # the quotient's edge dict is filled in first-occurrence order so the
+    # stable contraction argsort sees the same tie-break order as before.
     num_atoms = int(atom_labels.max()) + 1
     quotient = Graph(num_atoms)
-    for u, v, w in subgraph.weighted_edges():
-        au, av = int(atom_labels[u]), int(atom_labels[v])
-        if au != av:
-            quotient.add_edge(au, av, w, merge="add")
+    sub_us, sub_vs, sub_ws = subgraph.edge_arrays()
+    atom_us = atom_labels[sub_us]
+    atom_vs = atom_labels[sub_vs]
+    cross = atom_us != atom_vs
+    if np.any(cross):
+        lo = np.minimum(atom_us[cross], atom_vs[cross])
+        hi = np.maximum(atom_us[cross], atom_vs[cross])
+        cross_ws = sub_ws[cross]
+        keys = lo * np.int64(num_atoms) + hi
+        _, first_positions, inverse = np.unique(keys, return_index=True, return_inverse=True)
+        merged = np.zeros(first_positions.shape[0])
+        np.add.at(merged, inverse, cross_ws)
+        order = np.argsort(first_positions, kind="stable")
+        edge_map = quotient._edges
+        adjacency = quotient._adjacency
+        for position in order.tolist():
+            edge_position = int(first_positions[position])
+            qu, qv = int(lo[edge_position]), int(hi[edge_position])
+            weight = float(merged[position])
+            edge_map[(qu, qv)] = weight
+            adjacency[qu][qv] = weight
+            adjacency[qv][qu] = weight
+        quotient._invalidate_views()
 
     # The quotient is disconnected exactly when the cluster interior was torn
     # apart — the solver-backed estimators need connectivity, so fall back to
@@ -347,7 +433,7 @@ def decompose_node_subset(sparsifier: Graph, nodes: np.ndarray, threshold: float
             # Small connected quotient: one dense pseudo-inverse gives exact
             # edge resistances — cheaper and tighter than the sampled
             # estimators at this size.
-            pseudo = np.linalg.pinv(quotient.laplacian_matrix().toarray())
+            pseudo = np.linalg.pinv(_dense_laplacian(quotient.csr_view()))
             qu, qv, quotient_weights = quotient.edge_arrays()
             diagonal = np.diag(pseudo)
             edge_resistances = np.maximum(diagonal[qu] + diagonal[qv] - 2.0 * pseudo[qu, qv], 0.0)

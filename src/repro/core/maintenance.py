@@ -40,18 +40,14 @@ hierarchy's ``resistance_upper_bound`` stays a genuine upper bound.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import InGrassConfig, LRDConfig
 from repro.core.hierarchy import ClusterHierarchy
-from repro.core.lrd import (
-    _local_components,
-    decompose_node_subset,
-    fragment_diameters,
-    induced_subgraph,
-)
+from repro.core.lrd import _exact_diameter_csr, decompose_node_subset
 from repro.graphs.graph import Graph
 from repro.utils.timing import Timer
 
@@ -76,6 +72,14 @@ class MaintenanceStats:
     diameter_recomputes: int = 0
     #: Wall-clock spent inside the maintainer.
     maintenance_seconds: float = 0.0
+    #: Wall-clock of the removal-splice passes (subset of maintenance_seconds).
+    splice_seconds: float = 0.0
+    #: Wall-clock of fragment analysis — connectivity, localized
+    #: re-decomposition and diameter bounds (subset of splice_seconds).
+    diameter_seconds: float = 0.0
+    #: Wall-clock of similarity-filter re-keying (unregister/re-register
+    #: around relabels, in both splices and merges).
+    rekey_seconds: float = 0.0
 
     def snapshot(self) -> "MaintenanceStats":
         """Return a copy (for before/after deltas in result records)."""
@@ -84,6 +88,9 @@ class MaintenanceStats:
             splits=self.splits, merges=self.merges,
             diameter_recomputes=self.diameter_recomputes,
             maintenance_seconds=self.maintenance_seconds,
+            splice_seconds=self.splice_seconds,
+            diameter_seconds=self.diameter_seconds,
+            rekey_seconds=self.rekey_seconds,
         )
 
     def merge(self, other: "MaintenanceStats") -> None:
@@ -95,6 +102,9 @@ class MaintenanceStats:
         self.merges += other.merges
         self.diameter_recomputes += other.diameter_recomputes
         self.maintenance_seconds += other.maintenance_seconds
+        self.splice_seconds += other.splice_seconds
+        self.diameter_seconds += other.diameter_seconds
+        self.rekey_seconds += other.rekey_seconds
 
 
 @dataclass
@@ -179,49 +189,170 @@ class HierarchyMaintainer:
         if not removed_edges:
             return report
         timer = Timer().start()
+        splice_start = perf_counter()
         hierarchy = self._hierarchy
-        affected: Dict[Tuple[int, int], None] = {}
-        for u, v, _w in removed_edges:
+        num_removed = len(removed_edges)
+        us = np.fromiter((edge[0] for edge in removed_edges), dtype=np.int64,
+                         count=num_removed)
+        vs = np.fromiter((edge[1] for edge in removed_edges), dtype=np.int64,
+                         count=num_removed)
+        for _ in range(num_removed):
             hierarchy.record_removal()
-            self.stats.removals += 1
-            vector_u = hierarchy.embedding_vector(u)
-            vector_v = hierarchy.embedding_vector(v)
-            for level_index in np.flatnonzero(vector_u == vector_v):
-                affected[(int(level_index), int(vector_u[int(level_index)]))] = None
-        for level_index, cluster in sorted(affected):
-            splits, recomputed = self._splice(level_index, cluster, similarity_filter)
-            report.spliced.append((level_index, cluster))
-            report.splits += splits
-            report.recomputed += recomputed
+        self.stats.removals += num_removed
+        # Levels are processed finest first, and a splice only relabels its
+        # own level, so each level's dirty-cluster set can be gathered with
+        # one vectorised label comparison just before that level is spliced —
+        # the sets are identical to the per-edge embedding-vector scan.
+        for level_index in range(hierarchy.num_levels):
+            labels = hierarchy.level(level_index).labels
+            labels_u = labels[us]
+            together = labels_u == labels[vs]
+            if not np.any(together):
+                continue
+            clusters = np.unique(labels_u[together])
+            self._splice_level(level_index, clusters, similarity_filter, report)
         timer.stop()
+        self.stats.splice_seconds += perf_counter() - splice_start
         self.stats.maintenance_seconds += timer.elapsed
         return report
 
-    def _fragments_for(self, level_index: int, nodes: np.ndarray,
-                       threshold: float) -> Tuple[List[np.ndarray], List[float]]:
-        """Fragment one cluster's node set (largest fragment first)."""
+    def _decompose_small(self, level_index: int, nodes: np.ndarray,
+                         threshold: float) -> Tuple[List[np.ndarray], List[float]]:
+        """Localized re-decomposition of one small cluster (nesting-preserving).
+
+        The finer level's clusters enter as atomic units so nesting survives.
+        """
         hierarchy = self._hierarchy
-        if nodes.shape[0] <= self._exact_limit:
-            # Small cluster: full localized re-decomposition under the level
-            # threshold, with the finer level's clusters as atomic units so
-            # nesting survives.
-            if level_index > 0:
-                atoms = hierarchy.level(level_index - 1).labels[nodes]
-                finer_diameters = hierarchy.level(level_index - 1).cluster_diameters
-                atom_diameters = finer_diameters[np.unique(atoms)]
+        if level_index > 0:
+            atoms = hierarchy.level(level_index - 1).labels[nodes]
+            finer_diameters = hierarchy.level(level_index - 1).cluster_diameters
+            atom_diameters = finer_diameters[np.unique(atoms)]
+        else:
+            atoms = None
+            atom_diameters = None
+        return decompose_node_subset(
+            self._sparsifier, nodes, threshold, self._lrd_config,
+            atoms=atoms, atom_diameters=atom_diameters, exact_limit=self._exact_limit,
+        )
+
+    def _splice_level(self, level_index: int, clusters: np.ndarray,
+                      similarity_filter, report: SpliceReport) -> None:
+        """Splice every dirty cluster of one level in a single batched pass.
+
+        Phase 1 (analysis) is read-only: small clusters run the localized
+        re-decomposition individually, while all oversized clusters are
+        stacked into one block-diagonal CSR view and resolved together (see
+        :meth:`_analyse_large`).  Phase 2 applies the planned mutations
+        sequentially in ascending cluster order — the exact order (and hence
+        ``append_cluster`` id sequence, filter re-keying and float results)
+        of the retired per-cluster scalar splice.
+        """
+        hierarchy = self._hierarchy
+        threshold = float(hierarchy.level(level_index).diameter_threshold)
+        diameter_start = perf_counter()
+        plans: List[list] = []
+        large: List[int] = []
+        for cluster in clusters.tolist():
+            cluster = int(cluster)
+            nodes = hierarchy.cluster_members(level_index, cluster)
+            if nodes.shape[0] <= 1:
+                plans.append([cluster, nodes, None, None])
+            elif nodes.shape[0] <= self._exact_limit:
+                fragments, diameters = self._decompose_small(level_index, nodes, threshold)
+                plans.append([cluster, nodes, fragments, diameters])
             else:
-                atoms = None
-                atom_diameters = None
-            return decompose_node_subset(
-                self._sparsifier, nodes, threshold, self._lrd_config,
-                atoms=atoms, atom_diameters=atom_diameters, exact_limit=self._exact_limit,
+                large.append(len(plans))
+                plans.append([cluster, nodes, None, None])
+        if large:
+            self._analyse_large(plans, large)
+        self.stats.diameter_seconds += perf_counter() - diameter_start
+        for cluster, nodes, fragments, diameters in plans:
+            splits, recomputed = self._apply_splice(
+                level_index, cluster, nodes, fragments, diameters, similarity_filter)
+            report.spliced.append((level_index, cluster))
+            report.splits += splits
+            report.recomputed += recomputed
+
+    def _analyse_large(self, plans: List[list], large: List[int]) -> None:
+        """Fill the fragment plans of one level's oversized clusters at once.
+
+        All clusters are sliced out of the sparsifier's cached CSR in one
+        fancy-index, cross-cluster entries are masked away, and a single
+        ``connected_components`` call yields every cluster's interior
+        fragments; every fragment too large for the exact pinv bound then
+        shares one MST + two batched dijkstra sweeps.  Bit-exactness with the
+        per-cluster scalar path: CSR content depends only on the edge set
+        (not insertion order), component labels arrive in ascending
+        first-member order, and the minimum spanning forest restricted to one
+        fragment is that fragment's own minimum spanning tree, so every float
+        produced equals the one the scalar path produced.
+        """
+        import scipy.sparse as sp
+        from scipy.sparse.csgraph import (
+            connected_components,
+            dijkstra,
+            minimum_spanning_tree,
+        )
+
+        blocks = [plans[index][1] for index in large]
+        sizes = np.array([block.shape[0] for block in blocks], dtype=np.int64)
+        offsets = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(sizes)])
+        all_nodes = np.concatenate(blocks)
+        sliced = self._sparsifier.csr_view()[all_nodes][:, all_nodes]
+        if len(blocks) == 1:
+            # One dirty cluster at this level: the slice already is the
+            # block-diagonal view, no cross-cluster entries to mask.
+            masked = sliced
+        else:
+            owner = np.repeat(np.arange(len(blocks), dtype=np.int64), sizes)
+            stacked = sliced.tocoo()
+            keep = owner[stacked.row] == owner[stacked.col]
+            masked = sp.csr_matrix(
+                (stacked.data[keep], (stacked.row[keep], stacked.col[keep])),
+                shape=stacked.shape,
             )
-        # Large cluster: split along interior connectivity only, bounding each
-        # fragment's diameter with the cheap spanning-tree path bound.
-        subgraph, mapping = induced_subgraph(self._sparsifier, nodes)
-        components = _local_components(subgraph)
-        fragments = [np.sort(mapping[component]) for component in components]
-        return fragments, fragment_diameters(subgraph, components, self._exact_limit)
+        _, labels = connected_components(masked, directed=False)
+
+        exact_limit = self._exact_limit
+        tree_jobs: List[Tuple[int, int, np.ndarray]] = []
+        for position, plan_index in enumerate(large):
+            start = int(offsets[position])
+            end = int(offsets[position + 1])
+            block_labels = labels[start:end]
+            order = np.argsort(block_labels, kind="stable")
+            bounds = np.flatnonzero(np.diff(block_labels[order])) + 1
+            local_fragments = list(np.split(order, bounds))
+            local_fragments.sort(key=len, reverse=True)
+            block_nodes = plans[plan_index][1]
+            fragments = [block_nodes[fragment] for fragment in local_fragments]
+            diameters = [0.0] * len(local_fragments)
+            for fragment_position, fragment in enumerate(local_fragments):
+                if fragment.shape[0] <= 1:
+                    continue
+                rows = fragment + start
+                if fragment.shape[0] <= exact_limit:
+                    diameters[fragment_position] = _exact_diameter_csr(
+                        masked[rows][:, rows])
+                else:
+                    tree_jobs.append((plan_index, fragment_position, rows))
+            plans[plan_index][2] = fragments
+            plans[plan_index][3] = diameters
+        if tree_jobs:
+            lengths = masked.copy()
+            lengths.data = 1.0 / lengths.data
+            forest = minimum_spanning_tree(lengths)
+            sources = [int(rows[0]) for _, _, rows in tree_jobs]
+            first = dijkstra(forest, directed=False, indices=sources)
+            turns = []
+            for job_index, (_, _, rows) in enumerate(tree_jobs):
+                values = first[job_index][rows]
+                turn = int(np.argmax(np.where(np.isfinite(values), values, -1.0)))
+                turns.append(int(rows[turn]))
+            second = dijkstra(forest, directed=False, indices=turns)
+            for job_index, (plan_index, fragment_position, rows) in enumerate(tree_jobs):
+                values = second[job_index][rows]
+                plans[plan_index][3][fragment_position] = float(
+                    np.max(values[np.isfinite(values)]))
 
     def note_spliced_nodes(self, nodes) -> None:
         """Mark ``nodes`` as pending splice neighbourhood.
@@ -252,11 +383,10 @@ class HierarchyMaintainer:
         nodes.sort()
         return nodes
 
-    def _splice(self, level_index: int, cluster: int, similarity_filter) -> Tuple[int, int]:
-        """Re-examine one cluster's interior; returns ``(splits, recomputed)``."""
+    def _apply_splice(self, level_index: int, cluster: int, nodes: np.ndarray,
+                      fragments, diameters, similarity_filter) -> Tuple[int, int]:
+        """Apply one planned splice (phase 2); returns ``(splits, recomputed)``."""
         hierarchy = self._hierarchy
-        level = hierarchy.level(level_index)
-        nodes = hierarchy.cluster_members(level_index, cluster)
         if nodes.shape[0] == 0:
             return 0, 0
         self.stats.splices += 1
@@ -265,14 +395,16 @@ class HierarchyMaintainer:
         if nodes.shape[0] == 1:
             hierarchy.set_cluster_diameter(level_index, cluster, 0.0)
             return 0, 1
-        fragments, diameters = self._fragments_for(level_index, nodes,
-                                                   float(level.diameter_threshold))
         rekey = (
             similarity_filter is not None
             and len(fragments) > 1
             and similarity_filter.filtering_level == level_index
         )
-        pending = similarity_filter.unregister_incident_edges(nodes) if rekey else None
+        pending = None
+        if rekey:
+            rekey_start = perf_counter()
+            pending = similarity_filter.unregister_incident_edges(nodes)
+            self.stats.rekey_seconds += perf_counter() - rekey_start
         hierarchy.set_cluster_diameter(level_index, cluster, diameters[0])
         self.stats.diameter_recomputes += 1
         for fragment, diameter in zip(fragments[1:], diameters[1:]):
@@ -281,7 +413,9 @@ class HierarchyMaintainer:
             self.stats.splits += 1
             self.stats.diameter_recomputes += 1
         if pending is not None:
+            rekey_start = perf_counter()
             similarity_filter.register_edges(pending)
+            self.stats.rekey_seconds += perf_counter() - rekey_start
         if similarity_filter is not None:
             similarity_filter.mark_synced()
         return len(fragments) - 1, 1 if len(fragments) == 1 else 0
@@ -350,13 +484,19 @@ class HierarchyMaintainer:
             similarity_filter is not None
             and similarity_filter.filtering_level == level_index
         )
-        pending = similarity_filter.unregister_incident_edges(source_nodes) if rekey else None
+        pending = None
+        if rekey:
+            rekey_start = perf_counter()
+            pending = similarity_filter.unregister_incident_edges(source_nodes)
+            self.stats.rekey_seconds += perf_counter() - rekey_start
         hierarchy.relabel_nodes(level_index, source_nodes, target)
         hierarchy.set_cluster_diameter(level_index, target, merged_diameter)
         # The absorbed id keeps a minimal diameter; no node references it.
         hierarchy.set_cluster_diameter(level_index, source, 0.0)
         self.stats.merges += 1
         if pending is not None:
+            rekey_start = perf_counter()
             similarity_filter.register_edges(pending)
+            self.stats.rekey_seconds += perf_counter() - rekey_start
         if similarity_filter is not None:
             similarity_filter.mark_synced()

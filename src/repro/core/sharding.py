@@ -467,6 +467,10 @@ class ShardScopedFilter(SimilarityFilter):
         if self.owns_edge(u, v):
             super()._unregister_edge(u, v)
 
+    def _scope_mask(self, us: np.ndarray, vs: np.ndarray) -> Optional[np.ndarray]:
+        """Vectorised :meth:`owns_edge` for the shared bulk re-keying kernels."""
+        return self._plan.shard_of_pairs(us, vs) == self._shard_id
+
 
 class CompositeSimilarityFilter:
     """Routes the full similarity-filter protocol across the shard views.
@@ -532,22 +536,41 @@ class CompositeSimilarityFilter:
 
     def unregister_incident_edges(self, nodes) -> List[Edge]:
         views = self._fresh_views()
-        sparsifier = views[0].sparsifier
-        edges: Dict[Edge, None] = {}
-        adjacency_of = sparsifier.neighbors
-        for node in np.asarray(nodes, dtype=np.int64).tolist():
-            for neighbor in adjacency_of(node):
-                edges[canonical_edge(node, int(neighbor))] = None
-        owner_view = self._driver._owner_view
-        for u, v in edges:
-            owner_view(u, v).notify_edge_removed(u, v)
-        return list(edges)
+        us, vs = views[0].incident_edge_arrays(nodes)
+        self._route_pairs(us, vs, register=False)
+        return list(zip(us.tolist(), vs.tolist()))
 
     def register_edges(self, edges: Sequence[Edge]) -> None:
+        if not len(edges):
+            return
         self._driver._replan_if_stale()
-        owner_view = self._driver._owner_view
-        for u, v in edges:
-            owner_view(u, v).notify_edge_added(u, v)
+        pairs = np.asarray(edges, dtype=np.int64)
+        us = np.minimum(pairs[:, 0], pairs[:, 1])
+        vs = np.maximum(pairs[:, 0], pairs[:, 1])
+        # Routing is recomputed here (not reused from the unregister half of
+        # the protocol): a plan patch between the two halves must re-home the
+        # edges under the *current* partition.
+        self._route_pairs(us, vs, register=True)
+
+    def _route_pairs(self, us: np.ndarray, vs: np.ndarray, *, register: bool) -> None:
+        """Split canonical pairs by owning shard and apply one bulk call each.
+
+        Each scoped view re-checks ownership through its own scope mask, so
+        this grouping is purely a fan-out optimisation — the per-view bulk
+        kernels remain the single shared implementation of re-keying.
+        """
+        if us.size == 0:
+            return
+        plan = self._driver._plan
+        assert plan is not None
+        shards = plan.shard_of_pairs(us, vs)
+        for shard in np.unique(shards).tolist():
+            mask = shards == shard
+            view = self._driver._context_for(int(shard)).filter
+            if register:
+                view._register_pairs(us[mask], vs[mask])
+            else:
+                view._unregister_pairs(us[mask], vs[mask])
 
     def mark_synced(self) -> None:
         for view in self._driver._filter_views():

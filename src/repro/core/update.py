@@ -30,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.core.config import InGrassConfig
 from repro.core.distortion import (
     DistortionBatch,
@@ -333,23 +335,93 @@ def run_removal_drop_stage(sparsifier: Graph, setup: SetupResult,
     the one globally shared mutation, which is why the sharded driver passes
     ``inflate=False`` here and replays the inflations post-barrier in request
     order.
+
+    The per-edge loop stays sequential — re-homing edge ``i``'s excess may
+    pick a representative that a later request removes, so remove/notify/
+    re-home must interleave exactly as written — but everything derivable
+    up front is batched: cluster pairs come from one vectorised label
+    gather (labels never change during the drop stage), and the graph/
+    filter mutations are inlined dict operations with a single view
+    invalidation for the whole stage instead of one per removal.
     """
     result = RemovalStage1Result()
-    for position, (u, v) in requested:
-        if not sparsifier.has_edge(u, v):
-            continue
-        weight = sparsifier.remove_edge(u, v)
-        similarity_filter.notify_edge_removed(u, v)
-        if inflate:
-            result.inflated_levels += setup.hierarchy.note_edge_removed(
-                u, v, inflation_factor=config.removal_diameter_inflation
-            )
-        result.removed.append((position, (u, v, weight)))
-        physical = graph_weights.get((u, v))
-        if physical is not None and weight > physical:
-            excess = weight - physical
-            reassigned = similarity_filter.reassign_weight(u, v, excess)
-            result.excesses.append((position, excess, reassigned))
+    items = list(requested)
+    if not items:
+        return result
+    us = np.fromiter((pair[0] for _pos, pair in items), dtype=np.int64,
+                     count=len(items))
+    vs = np.fromiter((pair[1] for _pos, pair in items), dtype=np.int64,
+                     count=len(items))
+    node_los = np.minimum(us, vs)
+    node_his = np.maximum(us, vs)
+    labels = similarity_filter._labels
+    cluster_us = labels[node_los]
+    cluster_vs = labels[node_his]
+    ps = np.minimum(cluster_us, cluster_vs).tolist()
+    qs = np.maximum(cluster_us, cluster_vs).tolist()
+    keys = list(zip(node_los.tolist(), node_his.tolist()))
+    positions = [position for position, _pair in items]
+    physicals = [graph_weights.get(key) for key in keys]
+
+    edge_map = sparsifier._edges
+    adjacency = sparsifier._adjacency
+    intra = similarity_filter._intra_cluster_edges
+    connectivity = similarity_filter._connectivity
+    redistribute = similarity_filter._redistribute
+    hierarchy = setup.hierarchy
+    inflation = config.removal_diameter_inflation
+    removed_append = result.removed.append
+    excess_append = result.excesses.append
+    try:
+        for position, key, p, q, physical in zip(positions, keys, ps, qs,
+                                                 physicals):
+            weight = edge_map.pop(key, None)
+            if weight is None:
+                continue
+            u, v = key
+            del adjacency[u][v]
+            del adjacency[v][u]
+            # Inlined filter unregister.  ``pop(..., None)`` self-gates
+            # shard-scoped views: an edge the view does not own is never in
+            # its buckets, matching the ``owns_edge`` guard of the scalar
+            # protocol.
+            if p == q:
+                bucket = intra.get(p)
+                if bucket is not None:
+                    bucket.pop(key, None)
+                    if not bucket:
+                        del intra[p]
+            else:
+                bucket = connectivity.get((p, q))
+                if bucket is not None:
+                    bucket.pop(key, None)
+                    if not bucket:
+                        del connectivity[(p, q)]
+            if inflate:
+                result.inflated_levels += hierarchy.note_edge_removed(
+                    u, v, inflation_factor=inflation
+                )
+            removed_append((position, (u, v, weight)))
+            if physical is not None and weight > physical:
+                excess = weight - physical
+                # Inlined reassign_weight with the precomputed cluster pair.
+                if p == q:
+                    if redistribute and intra.get(p):
+                        similarity_filter._redistribute_weight(p, excess)
+                        reassigned = True
+                    else:
+                        reassigned = False
+                else:
+                    bucket = connectivity.get((p, q))
+                    if bucket:
+                        rep_u, rep_v = min(bucket)
+                        sparsifier.increase_weight(rep_u, rep_v, excess)
+                        reassigned = True
+                    else:
+                        reassigned = False
+                excess_append((position, excess, reassigned))
+    finally:
+        sparsifier._invalidate_views()
     return result
 
 

@@ -446,6 +446,18 @@ class Graph:
             self._csr_cache = self._build_adjacency(float)
         return self._csr_cache.copy()
 
+    def csr_view(self) -> sp.csr_matrix:
+        """Return the cached float CSR adjacency WITHOUT copying.
+
+        The returned matrix is shared with the cache and must be treated as
+        read-only (slice it, never scale it in place).  Bulk readers on hot
+        paths — incident-edge gathers, per-level splice batching — use this to
+        avoid :meth:`adjacency_matrix`'s defensive copy on every call.
+        """
+        if self._csr_cache is None:
+            self._csr_cache = self._build_adjacency(float)
+        return self._csr_cache
+
     def _build_adjacency(self, dtype: type) -> sp.csr_matrix:
         us, vs, ws = self.edge_arrays()
         rows = np.concatenate([us, vs])

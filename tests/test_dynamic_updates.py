@@ -325,7 +325,11 @@ class TestRunRemoval:
         pairs = shared[:4]
         for u, v in pairs:
             graph.remove_edge(u, v)
+        # Pin rebuild mode: this test exercises the diameter-inflation
+        # bookkeeping, which maintain mode (the default) replaces with
+        # structural splices.
         result = run_removal(sparsifier, setup, pairs, graph=graph,
+                             config=InGrassConfig(hierarchy_mode="rebuild"),
                              target_condition_number=20.0)
         assert len(result.removed_from_sparsifier) == len(pairs)
         assert is_connected(sparsifier)
@@ -479,7 +483,10 @@ class TestDriverDynamics:
         assert ingrass.history[-1].streamed_edges == 0
 
     def test_resetup_after_removals_refreshes(self, medium_grid):
-        ingrass = self._driver(medium_grid, resetup_after_removals=2)
+        # resetup_after_removals is only honoured in rebuild mode (maintain,
+        # the default, keeps the hierarchy accurate structurally instead).
+        ingrass = self._driver(medium_grid, resetup_after_removals=2,
+                               hierarchy_mode="rebuild")
         setup_before = ingrass.setup_result
         removed = 0
         for _ in range(6):
