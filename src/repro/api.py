@@ -46,6 +46,17 @@ from repro.checkpoint import (
 from repro.service import SparsifierService
 from repro.snapshot import SparsifierSnapshot
 
+# -- network front end (serving path) ---------------------------------------
+from repro.server import (
+    ServerBackendUnavailableError,
+    ServerConfig,
+    ServerRequestError,
+    SparsifierClient,
+    SparsifierHTTPServer,
+    connect,
+    serve,
+)
+
 # -- graph substrate --------------------------------------------------------
 from repro.graphs.graph import FrozenGraph, FrozenGraphError, Graph
 from repro.graphs.components import is_connected
@@ -127,6 +138,14 @@ __all__ = [
     # service / snapshots
     "SparsifierService",
     "SparsifierSnapshot",
+    # network front end
+    "serve",
+    "connect",
+    "ServerConfig",
+    "SparsifierHTTPServer",
+    "SparsifierClient",
+    "ServerRequestError",
+    "ServerBackendUnavailableError",
     # graphs
     "Graph",
     "FrozenGraph",

@@ -37,7 +37,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.bench import baseline as batch_baseline
-from repro.bench import churn_maintenance, shard, shard_processes, shard_removal
+from repro.bench import churn_maintenance, serve_latency, shard, shard_processes, shard_removal
 from repro.bench.batch import run_batch_bench
 
 
@@ -95,6 +95,14 @@ def _check_shard_processes(payload: Dict, base: Optional[Dict],
     return shard_processes.check_gate(payload, base, **kwargs)
 
 
+def _check_serve_latency(payload: Dict, base: Optional[Dict],
+                         tolerance: Optional[float]) -> List[str]:
+    kwargs = {}
+    if tolerance is not None:
+        kwargs["regression_tolerance"] = tolerance
+    return serve_latency.check_gate(payload, base, **kwargs)
+
+
 #: Registered gates, in CI execution order.
 GATES: List[GateSpec] = [
     GateSpec(
@@ -140,6 +148,15 @@ GATES: List[GateSpec] = [
         baseline=shard_processes.DEFAULT_BASELINE_PATH,
         run=lambda: shard_processes.run_processes_bench(),
         check=_check_shard_processes,
+    ),
+    GateSpec(
+        name="serve-latency",
+        description="HTTP front end under reader/writer churn (p50/p99 reader "
+                    "latency, kill/restart bit-exact resume, offline epoch parity)",
+        artifact="BENCH_serve_latency.json",
+        baseline=serve_latency.DEFAULT_BASELINE_PATH,
+        run=lambda: serve_latency.run_serve_latency_bench(),
+        check=_check_serve_latency,
     ),
 ]
 

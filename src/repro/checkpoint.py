@@ -129,9 +129,16 @@ def save_checkpoint(driver: InGrassSparsifier, path: PathLike) -> None:
 
     os.makedirs(path, exist_ok=True)
     np.savez_compressed(os.path.join(path, _ARRAYS), **arrays)
-    with open(os.path.join(path, _MANIFEST), "w", encoding="utf-8") as handle:
+    # Manifest last, and atomically (write-then-rename): the HTTP server
+    # saves into a directory other processes may be inspecting or restoring
+    # from concurrently — a reader must see either the previous complete
+    # checkpoint or the new one, never a torn manifest.
+    manifest_path = os.path.join(path, _MANIFEST)
+    staging_path = manifest_path + ".tmp"
+    with open(staging_path, "w", encoding="utf-8") as handle:
         json.dump(manifest, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    os.replace(staging_path, manifest_path)
     logger.info(
         "checkpoint saved to %s (version epoch %d, %d sparsifier edges)",
         path, manifest["version"], int(arrays["sp_us"].shape[0]),

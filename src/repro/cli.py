@@ -33,6 +33,7 @@ _BENCH_MODULES: Dict[str, str] = {
     "churn-maintenance": "repro.bench.churn_maintenance",
     "shard-removal": "repro.bench.shard_removal",
     "shard-processes": "repro.bench.shard_processes",
+    "serve-latency": "repro.bench.serve_latency",
     "table1": "repro.bench.table1",
     "table2": "repro.bench.table2",
     "table3": "repro.bench.table3",
@@ -81,13 +82,93 @@ def _run_bench(argv: List[str]) -> int:
 
 
 # --------------------------------------------------------------------------- #
-# serve-demo: the concurrent-read service in action
+# serve: the network front end (see repro.server)
+# --------------------------------------------------------------------------- #
+def _run_serve(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve a SparsifierService over HTTP (stdlib asyncio; "
+                    "graceful SIGINT/SIGTERM shutdown drains writes and saves "
+                    "a checkpoint when --checkpoint-dir is set).")
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8752,
+                        help="bind port (default 8752; 0 picks an ephemeral port)")
+    parser.add_argument("--queue-bound", type=int, default=64,
+                        help="ingest-queue bound; writes beyond it get 429 (default 64)")
+    parser.add_argument("--request-timeout", type=float, default=30.0,
+                        help="per-request budget in seconds (default 30)")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="resume from a checkpoint in this directory if one exists, "
+                             "and save one there on graceful shutdown")
+    parser.add_argument("--no-checkpoint-on-shutdown", action="store_true",
+                        help="do not save a checkpoint when shutting down")
+    parser.add_argument("--backend", default="asyncio",
+                        help="serving backend (only 'asyncio' is implemented; adapter "
+                             "names fail with a pointer at the [serve] extra)")
+    parser.add_argument("--side", type=int, default=20,
+                        help="bootstrap demo grid side when no checkpoint is resumed "
+                             "(default 20 -> 400 nodes)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    from repro.api import (
+        InGrassConfig,
+        ServerBackendUnavailableError,
+        ServerConfig,
+        SparsifierService,
+        grid_circuit_2d,
+        is_checkpoint,
+        serve,
+    )
+    from repro.utils.logging import configure_logging
+
+    configure_logging()
+    # Validate the backend (and the rest of the config) before doing any
+    # setup work, so a bad --backend fails in milliseconds with the pointer
+    # at the [serve] extra.
+    try:
+        config = ServerConfig(host=args.host, port=args.port, backend=args.backend,
+                              queue_bound=args.queue_bound,
+                              request_timeout=args.request_timeout,
+                              checkpoint_dir=args.checkpoint_dir,
+                              checkpoint_on_shutdown=not args.no_checkpoint_on_shutdown)
+    except (ServerBackendUnavailableError, ValueError) as exc:
+        parser.error(str(exc))
+    if args.checkpoint_dir and is_checkpoint(args.checkpoint_dir):
+        service = SparsifierService.restore(args.checkpoint_dir)
+        print(f"resumed from checkpoint {args.checkpoint_dir} "
+              f"(version epoch {service.latest_version})")
+    else:
+        graph = grid_circuit_2d(args.side, seed=args.seed)
+        service = SparsifierService(InGrassConfig(seed=args.seed))
+        service.setup(graph)
+        print(f"bootstrapped demo grid: {graph.num_nodes} nodes, "
+              f"{graph.num_edges} edges (version epoch {service.latest_version})")
+    print(f"serving on http://{args.host}:{args.port} — endpoints: /health /epoch "
+          "/report /edges /metrics /resistance /solve /update /remove /reweight "
+          "/checkpoint /shutdown", flush=True)
+    server = serve(service, config)
+    print(f"stopped at version epoch {server.service.latest_version} "
+          f"after {server.service.applied_batches} applied batches")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# serve-demo: the in-process concurrent-read demo (deprecated shim)
 # --------------------------------------------------------------------------- #
 def _run_serve_demo(argv: List[str]) -> int:
+    warnings.warn(
+        "`repro serve-demo` is deprecated; use `python -m repro serve` for the "
+        "network server or `python -m repro bench serve-latency` for the gated "
+        "latency protocol (this demo keeps working with identical output)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     parser = argparse.ArgumentParser(
         prog="repro serve-demo",
-        description="Drive a SparsifierService with churn while reader threads "
-                    "query epoch snapshots; prints per-reader latency stats.")
+        description="[deprecated: see `repro serve`] Drive a SparsifierService "
+                    "with churn while reader threads query epoch snapshots; "
+                    "prints per-reader latency stats.")
     parser.add_argument("--side", type=int, default=20,
                         help="grid side length of the demo graph (default 20 -> 400 nodes)")
     parser.add_argument("--batches", type=int, default=20,
@@ -99,6 +180,9 @@ def _run_serve_demo(argv: List[str]) -> int:
     parser.add_argument("--checkpoint-dir", default=None,
                         help="resume from a checkpoint in this directory if one "
                              "exists, and save one there on exit")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the reader-latency stats as JSON (same schema "
+                             "as the serve-latency gate artifact)")
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
 
@@ -194,6 +278,25 @@ def _run_serve_demo(argv: List[str]) -> int:
     print(f"total: {total_queries} concurrent queries, zero locks held during reads")
     final = service.snapshot()
     print(f"final epoch {final.version}: kappa = {final.condition_number():.2f}")
+    if args.json:
+        import json
+
+        from repro.bench.serve_latency import LATENCY_SCHEMA, reader_latency_summary
+
+        artifact = {
+            "schema": LATENCY_SCHEMA,
+            "source": "serve-demo",
+            "meta": {"side": args.side, "batches": args.batches,
+                     "readers": args.readers, "seed": args.seed,
+                     "deletion_fraction": args.deletion_fraction},
+            "final_version": service.latest_version,
+            "write_seconds": write_seconds,
+            "latency": reader_latency_summary(
+                {stats["reader"]: stats["latencies"] for stats in reader_stats}),
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, indent=2)
+        print(f"wrote {args.json}")
     if args.checkpoint_dir:
         service.save_checkpoint(args.checkpoint_dir)
         print(f"checkpoint saved to {args.checkpoint_dir} "
@@ -304,7 +407,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench = sub.add_parser("bench", help="benchmarks and CI gates",
                            add_help=False)
     bench.add_argument("rest", nargs=argparse.REMAINDER)
-    demo = sub.add_parser("serve-demo", help="concurrent-read service demo",
+    srv = sub.add_parser("serve", help="HTTP server over a SparsifierService",
+                         add_help=False)
+    srv.add_argument("rest", nargs=argparse.REMAINDER)
+    demo = sub.add_parser("serve-demo",
+                          help="concurrent-read service demo (deprecated: see serve)",
                           add_help=False)
     demo.add_argument("rest", nargs=argparse.REMAINDER)
     ckpt = sub.add_parser("checkpoint", help="save/restore/inspect driver state",
@@ -315,6 +422,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     # anything after the subcommand name bypasses the top-level parser.
     if argv and argv[0] == "bench":
         return _run_bench(argv[1:])
+    if argv and argv[0] == "serve":
+        return _run_serve(argv[1:])
     if argv and argv[0] == "serve-demo":
         return _run_serve_demo(argv[1:])
     if argv and argv[0] == "checkpoint":

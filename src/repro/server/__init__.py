@@ -1,0 +1,43 @@
+"""Network front end: stdlib-asyncio HTTP serving over :class:`SparsifierService`.
+
+The package is dependency-free by design (the container has no third-party
+web stack); see :mod:`repro.server.app` for the architecture and the
+``repro[serve]`` extra for the declared adapter seam.
+
+Public surface (re-exported by :mod:`repro.api`)::
+
+    from repro.api import serve, connect, ServerConfig
+
+    serve(service, ServerConfig(port=8752))        # blocking, SIGTERM-graceful
+    client = connect(port=8752)
+    client.update(insertions=[(0, 5, 1.0)])
+    client.resistance(0, 5)
+"""
+
+from repro.server.app import (
+    ADAPTER_BACKENDS,
+    ServerBackendUnavailableError,
+    ServerConfig,
+    SparsifierHTTPServer,
+    resolve_backend,
+    serve,
+)
+from repro.server.client import ServerRequestError, SparsifierClient, connect
+from repro.server.http import HttpRequest, ProtocolError
+from repro.server.metrics import LatencyHistogram, ServerMetrics
+
+__all__ = [
+    "ADAPTER_BACKENDS",
+    "HttpRequest",
+    "LatencyHistogram",
+    "ProtocolError",
+    "ServerBackendUnavailableError",
+    "ServerConfig",
+    "ServerMetrics",
+    "ServerRequestError",
+    "SparsifierClient",
+    "SparsifierHTTPServer",
+    "connect",
+    "resolve_backend",
+    "serve",
+]

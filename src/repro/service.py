@@ -33,6 +33,7 @@ Typical usage::
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import Iterable, List, Optional, Union
 
@@ -79,6 +80,9 @@ class SparsifierService:
         self._snapshots: "OrderedDict[int, SparsifierSnapshot]" = OrderedDict()
         self._max_snapshots = max_snapshots
         self._applied_batches = 0
+        # Per-operation write accounting, surfaced by the HTTP front end's
+        # /metrics endpoint: {kind: [count, seconds]}.
+        self._write_stats: dict = {}
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -109,6 +113,23 @@ class SparsifierService:
         with self._lock:
             return list(self._snapshots.keys())
 
+    @property
+    def write_stats(self) -> dict:
+        """Per-operation write accounting: ``{kind: {count, seconds}}``.
+
+        Covers every write routed through this service (``update`` /
+        ``remove`` / ``reweight`` / ``refresh`` / ``checkpoint``) — the
+        numbers behind the HTTP ``/metrics`` endpoint's writer gauges.
+        """
+        with self._lock:
+            return {kind: {"count": count, "seconds": seconds}
+                    for kind, (count, seconds) in sorted(self._write_stats.items())}
+
+    def _record_write(self, kind: str, seconds: float) -> None:
+        entry = self._write_stats.setdefault(kind, [0, 0.0])
+        entry[0] += 1
+        entry[1] += seconds
+
     # ------------------------------------------------------------------ #
     # Writer path
     # ------------------------------------------------------------------ #
@@ -121,28 +142,37 @@ class SparsifierService:
     def apply(self, batch: UpdateBatch) -> Union[UpdateResult, MixedUpdateResult]:
         """Apply one update batch (insertions or a ``MixedBatch``) — the write path."""
         with self._lock:
+            begin = time.perf_counter()
             result = self._driver.update(batch)
+            self._record_write("update", time.perf_counter() - begin)
             self._applied_batches += 1
             return result
 
     def remove(self, deletions: Iterable[Edge]) -> RemovalResult:
         """Apply one pure deletion batch."""
         with self._lock:
+            begin = time.perf_counter()
             result = self._driver.remove(deletions)
+            self._record_write("remove", time.perf_counter() - begin)
             self._applied_batches += 1
             return result
 
     def reweight(self, changes: Iterable[WeightedEdge]) -> ReweightResult:
         """Apply one pure weight-increase batch."""
         with self._lock:
+            begin = time.perf_counter()
             result = self._driver.reweight(changes)
+            self._record_write("reweight", time.perf_counter() - begin)
             self._applied_batches += 1
             return result
 
     def refresh(self) -> SetupResult:
         """Force a full setup refresh (see :meth:`InGrassSparsifier.refresh_setup`)."""
         with self._lock:
-            return self._driver.refresh_setup()
+            begin = time.perf_counter()
+            result = self._driver.refresh_setup()
+            self._record_write("refresh", time.perf_counter() - begin)
+            return result
 
     # ------------------------------------------------------------------ #
     # Persistence
@@ -154,7 +184,9 @@ class SparsifierService:
         batch-consistent state — never the middle of an update.
         """
         with self._lock:
+            begin = time.perf_counter()
             self._driver.save_checkpoint(path)
+            self._record_write("checkpoint", time.perf_counter() - begin)
 
     @classmethod
     def restore(cls, path, *, max_snapshots: int = 8) -> "SparsifierService":
@@ -211,6 +243,7 @@ class SparsifierService:
                 "max_snapshots": self._max_snapshots,
                 "num_shards": self._driver.config.num_shards,
                 "hierarchy_mode": self._driver.config.hierarchy_mode,
+                "write_stats": self.write_stats,
                 "snapshot": snap.describe(),
             }
 

@@ -232,6 +232,17 @@ class SparsifierSnapshot:
         x = self._solver(on).solve(b)
         return float(x[u] - x[v])
 
+    def effective_resistance_many(self, pairs, *, on: str = "sparsifier") -> list:
+        """Effective resistances for many ``(u, v)`` pairs in one call.
+
+        The batched form of :meth:`effective_resistance` — one shared
+        factorisation, one Python round trip.  It is what the HTTP front
+        end's ``POST /resistance`` endpoint uses for ``pairs`` payloads, so a
+        network client pays one request (and the server one snapshot pin) for
+        an arbitrary number of lookups.
+        """
+        return [self.effective_resistance(u, v, on=on) for u, v in pairs]
+
     def solve(self, b: np.ndarray, *, preconditioned: bool = True,
               tol: float = 1e-8, max_iterations: Optional[int] = None) -> SolveReport:
         """Solve ``L_G x = b`` by PCG, preconditioned by this epoch's sparsifier.

@@ -38,6 +38,17 @@ class TestApiFacade:
             SparsifierSnapshot,
         )
 
+    def test_facade_exports_the_serving_layer(self):
+        for name in ("serve", "connect", "ServerConfig", "SparsifierHTTPServer",
+                     "SparsifierClient", "ServerRequestError",
+                     "ServerBackendUnavailableError"):
+            assert name in api.__all__
+            assert hasattr(api, name)
+        from repro.server import connect, serve
+
+        assert api.serve is serve
+        assert api.connect is connect
+
 
 class TestUnifiedCli:
     def test_bench_list(self, capsys):
@@ -82,12 +93,44 @@ class TestUnifiedCli:
         assert "serve-demo" in capsys.readouterr().out
 
     def test_serve_demo_smoke(self, capsys):
-        code = cli.main(["serve-demo", "--side", "6", "--batches", "3",
-                         "--readers", "2", "--seed", "1"])
+        with pytest.warns(DeprecationWarning, match="repro serve"):
+            code = cli.main(["serve-demo", "--side", "6", "--batches", "3",
+                             "--readers", "2", "--seed", "1"])
         assert code == 0
         out = capsys.readouterr().out
         assert "concurrent queries" in out
         assert "final epoch" in out
+
+    def test_serve_demo_json_artifact_shares_the_gate_schema(self, tmp_path, capsys):
+        from repro.bench.serve_latency import LATENCY_SCHEMA
+
+        artifact = tmp_path / "demo.json"
+        with pytest.warns(DeprecationWarning):
+            code = cli.main(["serve-demo", "--side", "6", "--batches", "2",
+                             "--readers", "2", "--seed", "1",
+                             "--json", str(artifact)])
+        assert code == 0
+        capsys.readouterr()
+        import json
+
+        payload = json.loads(artifact.read_text())
+        assert payload["schema"] == LATENCY_SCHEMA
+        assert payload["source"] == "serve-demo"
+        latency = payload["latency"]
+        assert latency["queries"] > 0
+        assert len(latency["readers"]) == 2
+        for key in ("p50_ms", "p90_ms", "p99_ms", "max_ms", "mean_ms"):
+            assert latency[key] >= 0.0
+
+    def test_serve_subcommand_in_help_and_validates_backend(self, capsys):
+        assert cli.main([]) == 0
+        assert "HTTP server over a SparsifierService" in capsys.readouterr().out
+        # A bad --backend must fail in milliseconds, before any setup work,
+        # with the pointer at the [serve] extra.
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["serve", "--backend", "fastapi"])
+        assert excinfo.value.code == 2
+        assert "repro[serve]" in capsys.readouterr().err
 
     def test_legacy_shim_warns_with_pointer(self):
         with pytest.warns(DeprecationWarning, match="python -m repro bench gate"):

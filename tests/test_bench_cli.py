@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.bench import figure4, gate, shard_removal, soak, table1, table2, table3
+from repro.bench import figure4, gate, serve_latency, shard_removal, soak, table1, table2, table3
 from repro.bench.figure4 import ascii_log_chart
 from repro.bench.records import Figure4Record, Table1Record, Table2Record, Table3Record
 
@@ -98,7 +98,8 @@ class TestGateRunner:
     def test_list_registers_all_gates(self, capsys):
         assert gate.main(["--list"]) == 0
         out = capsys.readouterr().out
-        for name in ("batch", "churn-maintenance", "shard", "sharded-removal"):
+        for name in ("batch", "churn-maintenance", "shard", "sharded-removal",
+                     "serve-latency"):
             assert name in out
 
     def test_unknown_gate_rejected(self):
@@ -183,6 +184,80 @@ class TestShardRemovalGate:
         failures = shard_removal.check_gate(
             self._payload(engine_speedup_threads=1.2), baseline)
         assert any("ratio" in failure for failure in failures)
+
+
+class TestServeLatencyGate:
+    def _payload(self, **overrides):
+        payload = {
+            "meta": {"cpu_count": 4, "side": 10, "batches": 12, "readers": 2,
+                     "seed": 0},
+            "latency": {"queries": 500, "p50_ms": 1.0, "p99_ms": 5.0},
+            "restart": {"mid_epoch": 7, "resumed_epoch": 7,
+                        "resume_epoch_match": True},
+            "parity": {"final_epoch": 13, "offline_epoch": 13,
+                       "epoch_match": True, "sparsifier_edges_match": True,
+                       "sparsifier_weights_match": True,
+                       "graph_edges_match": True},
+        }
+        payload.update(overrides)
+        return payload
+
+    def _baseline(self, **overrides):
+        baseline = {"benchmark": "serve_latency", "cpu_count": 4,
+                    "queries": 500, "p50_ms": 1.0, "p99_ms": 5.0}
+        baseline.update(overrides)
+        return baseline
+
+    def test_passes_clean_payload(self):
+        assert serve_latency.check_gate(self._payload(), self._baseline()) == []
+
+    def test_missing_baseline_fails(self):
+        failures = serve_latency.check_gate(self._payload(), None)
+        assert any("baseline missing" in failure for failure in failures)
+
+    def test_parity_violation_fails(self):
+        payload = self._payload()
+        payload["parity"]["sparsifier_weights_match"] = False
+        failures = serve_latency.check_gate(payload, self._baseline())
+        assert any("weights diverged" in failure for failure in failures)
+
+    def test_restart_violation_fails(self):
+        payload = self._payload()
+        payload["restart"] = {"mid_epoch": 7, "resumed_epoch": 5,
+                              "resume_epoch_match": False}
+        failures = serve_latency.check_gate(payload, self._baseline())
+        assert any("restart drill" in failure for failure in failures)
+
+    def test_zero_queries_fails(self):
+        payload = self._payload()
+        payload["latency"]["queries"] = 0
+        failures = serve_latency.check_gate(payload, self._baseline())
+        assert any("vacuous" in failure for failure in failures)
+
+    def test_latency_regression_fails_on_multicore(self):
+        payload = self._payload()
+        payload["latency"]["p99_ms"] = 50.0  # baseline 5.0 + 100% tolerance = 10.0
+        failures = serve_latency.check_gate(payload, self._baseline())
+        assert any("p99_ms" in failure for failure in failures)
+
+    def test_latency_arm_deferred_on_single_cpu(self, capsys):
+        payload = self._payload()
+        payload["meta"]["cpu_count"] = 1
+        payload["latency"]["p99_ms"] = 50.0
+        assert serve_latency.check_gate(payload, self._baseline()) == []
+        assert "deferred" in capsys.readouterr().out
+
+    def test_latency_arm_deferred_on_single_cpu_baseline(self, capsys):
+        payload = self._payload()
+        payload["latency"]["p99_ms"] = 50.0
+        baseline = self._baseline(cpu_count=1)
+        assert serve_latency.check_gate(payload, baseline) == []
+        assert "deferred" in capsys.readouterr().out
+
+    def test_distil_baseline_matches_committed_schema(self):
+        baseline = serve_latency.distil_baseline(self._payload())
+        committed = json.loads(serve_latency.DEFAULT_BASELINE_PATH.read_text())
+        assert set(baseline) == set(committed)
 
 
 @pytest.mark.slow

@@ -246,3 +246,39 @@ class TestHierarchyCopyOnWrite:
         for index in range(hierarchy.num_levels):
             assert np.shares_memory(hierarchy.level(index).labels,
                                     hierarchy._embedding)
+
+    def test_similarity_filter_reads_live_labels_across_detach(self):
+        # Regression: the filter must not cache the label array object — a
+        # COW detach re-points level.labels at a fresh buffer, and a cached
+        # reference would keep reading the frozen pre-detach labels (which
+        # silently changes filtering decisions after any snapshot capture).
+        from repro.core.filtering import SimilarityFilter
+
+        hierarchy = _tiny_hierarchy()
+        sparsifier = Graph(3)
+        sparsifier.add_edge(0, 1, 1.0)
+        sparsifier.add_edge(1, 2, 1.0)
+        similarity_filter = SimilarityFilter(sparsifier, hierarchy, 0)
+        assert similarity_filter._labels is hierarchy.level(0).labels
+        hierarchy.export_state()
+        hierarchy.relabel_nodes(0, np.array([1]), 2)  # triggers the detach
+        assert similarity_filter._labels is hierarchy.level(0).labels
+        assert similarity_filter._labels[1] == 2
+
+    def test_snapshot_capture_never_perturbs_the_writer(self, churn_driver):
+        # End-to-end form of the same guarantee: interleaving snapshot
+        # captures (reader traffic) with the churn stream must leave the
+        # writer's trajectory bit-identical to an uninterrupted replay.
+        driver, scenario = churn_driver
+        reference = InGrassSparsifier(InGrassConfig(seed=3))
+        reference.setup(scenario.graph, scenario.initial_sparsifier,
+                        target_condition_number=scenario.initial_condition_number)
+        for batch in scenario.batches:
+            reference.update(batch)
+        for batch in scenario.batches:
+            before = SparsifierSnapshot.capture(driver)
+            before.effective_resistance(0, 1)
+            driver.update(batch)
+            SparsifierSnapshot.capture(driver).effective_resistance(1, 2)
+        assert dict(driver.sparsifier._edges) == dict(reference.sparsifier._edges)
+        assert dict(driver.graph._edges) == dict(reference.graph._edges)
