@@ -59,24 +59,35 @@ LATENCY_SCHEMA = "repro.serve_latency/v1"
 DEFAULT_BASELINE_PATH = Path("benchmarks") / "baselines" / "serve_latency_baseline.json"
 
 
-def reader_latency_summary(reader_latencies: Dict[int, List[float]]) -> Dict:
+def reader_latency_summary(reader_latencies: Dict[int, List[float]],
+                           reader_errors: Optional[Dict[int, List[str]]] = None) -> Dict:
     """Summarise per-reader latency samples (seconds in, milliseconds out).
 
     The one shared schema for reader-latency numbers: total and per-reader
-    query counts with p50/p90/p99/max/mean in milliseconds.
+    query/error counts with p50/p90/p99/max/mean in milliseconds.  Errors are
+    counted so a reader dying mid-run shrinks ``queries`` *visibly* instead of
+    silently thinning the population the gate compares against the baseline.
     """
+    reader_errors = reader_errors or {}
     merged: List[float] = []
     readers = []
+    total_errors = 0
     for reader_id in sorted(reader_latencies):
         samples = np.asarray(reader_latencies[reader_id], dtype=np.float64) * 1e3
         merged.extend(samples.tolist())
-        entry: Dict = {"reader": int(reader_id), "queries": int(samples.size)}
+        errors = list(reader_errors.get(reader_id, ()))
+        total_errors += len(errors)
+        entry: Dict = {"reader": int(reader_id), "queries": int(samples.size),
+                       "errors": len(errors)}
+        if errors:
+            entry["last_error"] = errors[-1]
         if samples.size:
             entry["p50_ms"] = float(np.percentile(samples, 50))
             entry["p99_ms"] = float(np.percentile(samples, 99))
         readers.append(entry)
     combined = np.asarray(merged, dtype=np.float64)
-    summary: Dict = {"queries": int(combined.size), "readers": readers}
+    summary: Dict = {"queries": int(combined.size), "errors": total_errors,
+                     "readers": readers}
     if combined.size:
         summary.update({
             "p50_ms": float(np.percentile(combined, 50)),
@@ -89,20 +100,34 @@ def reader_latency_summary(reader_latencies: Dict[int, List[float]]) -> Dict:
 
 
 def _reader_loop(port: int, num_nodes: int, stop: threading.Event,
-                 samples: List[float], seed: int) -> None:
+                 samples: List[float], errors: List[str], seed: int) -> None:
+    """One reader thread: sample query latency until told to stop.
+
+    A transient failure (connection reset in the kill/restart drill window,
+    a 5xx) must not silently kill the thread and thin the latency population
+    the gate reports — every error is recorded and the reader reconnects and
+    keeps sampling.
+    """
     from repro.server import connect
 
     rng = np.random.default_rng(seed)
-    with connect(port=port) as client:
-        while not stop.is_set():
-            u, v = rng.choice(num_nodes, size=2, replace=False)
-            begin = time.perf_counter()
-            client.resistance(int(u), int(v))
-            samples.append(time.perf_counter() - begin)
+    while not stop.is_set():
+        try:
+            with connect(port=port) as client:
+                while not stop.is_set():
+                    u, v = rng.choice(num_nodes, size=2, replace=False)
+                    begin = time.perf_counter()
+                    client.resistance(int(u), int(v))
+                    samples.append(time.perf_counter() - begin)
+        except Exception as exc:  # noqa: BLE001 - count it, reconnect, go on
+            errors.append(f"{type(exc).__name__}: {exc}")
+            if not stop.is_set():
+                time.sleep(0.05)
 
 
 def _drive_phase(port: int, batches, *, readers: int, num_nodes: int,
-                 latencies: Dict[int, List[float]], seed: int,
+                 latencies: Dict[int, List[float]],
+                 reader_errors: Dict[int, List[str]], seed: int,
                  settle_seconds: float) -> float:
     """Post ``batches`` while ``readers`` threads hammer reads; return write seconds."""
     from repro.server import connect
@@ -110,6 +135,7 @@ def _drive_phase(port: int, batches, *, readers: int, num_nodes: int,
     stop = threading.Event()
     threads = [threading.Thread(target=_reader_loop,
                                 args=(port, num_nodes, stop, latencies[reader_id],
+                                      reader_errors[reader_id],
                                       seed + 1000 + reader_id),
                                 daemon=True)
                for reader_id in range(readers)]
@@ -165,6 +191,7 @@ def run_serve_latency_bench(*, side: int = 10, batches: int = 12, readers: int =
 
     half = len(scenario.batches) // 2
     latencies: Dict[int, List[float]] = {reader_id: [] for reader_id in range(readers)}
+    reader_errors: Dict[int, List[str]] = {reader_id: [] for reader_id in range(readers)}
     num_nodes = scenario.graph.num_nodes
 
     with tempfile.TemporaryDirectory() as tmp:
@@ -178,7 +205,8 @@ def run_serve_latency_bench(*, side: int = 10, batches: int = 12, readers: int =
         first = SparsifierHTTPServer(fresh_service(), server_config()).start()
         write_seconds = _drive_phase(
             first.port, scenario.batches[:half], readers=readers,
-            num_nodes=num_nodes, latencies=latencies, seed=seed,
+            num_nodes=num_nodes, latencies=latencies,
+            reader_errors=reader_errors, seed=seed,
             settle_seconds=settle_seconds)
         with connect(port=first.port) as client:
             mid_epoch = client.epoch()["version"]
@@ -192,7 +220,8 @@ def run_serve_latency_bench(*, side: int = 10, batches: int = 12, readers: int =
             resumed_epoch = client.epoch()["version"]
         write_seconds += _drive_phase(
             second.port, scenario.batches[half:], readers=readers,
-            num_nodes=num_nodes, latencies=latencies, seed=seed + 1,
+            num_nodes=num_nodes, latencies=latencies,
+            reader_errors=reader_errors, seed=seed + 1,
             settle_seconds=settle_seconds)
 
         # --- read the survivor's final state back over the wire.
@@ -222,7 +251,7 @@ def run_serve_latency_bench(*, side: int = 10, batches: int = 12, readers: int =
             "numpy": np.__version__,
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         },
-        "latency": reader_latency_summary(latencies),
+        "latency": reader_latency_summary(latencies, reader_errors),
         "write_seconds": write_seconds,
         "restart": {
             "mid_epoch": mid_epoch,
@@ -297,6 +326,11 @@ def check_gate(payload: Dict, baseline: Optional[Dict], *,
     queries = int(latency.get("queries", 0))
     if queries <= 0:
         failures.append("no reader queries were recorded — the latency numbers are vacuous")
+    errors = int(latency.get("errors", 0))
+    if errors > max(2, queries // 10):
+        failures.append(
+            f"reader threads hit {errors} errors over {queries} queries — "
+            "the latency population is under-sampled, not trustworthy")
 
     cpu_count = int(payload.get("meta", {}).get("cpu_count", 1))
     baseline_cpus = int(baseline.get("cpu_count", 1)) if baseline is not None else 0
@@ -339,10 +373,14 @@ def print_results(payload: Dict) -> None:
         print(f"  reader latency: p50 {latency['p50_ms']:.2f} ms, "
               f"p90 {latency['p90_ms']:.2f} ms, p99 {latency['p99_ms']:.2f} ms, "
               f"max {latency['max_ms']:.2f} ms")
+    if latency.get("errors"):
+        print(f"  reader errors: {latency['errors']} "
+              "(readers reconnect and keep sampling)")
     for stats in latency.get("readers", []):
         if "p50_ms" in stats:
+            suffix = f", {stats['errors']} errors" if stats.get("errors") else ""
             print(f"    reader {stats['reader']}: {stats['queries']} queries, "
-                  f"p50 {stats['p50_ms']:.2f} ms, p99 {stats['p99_ms']:.2f} ms")
+                  f"p50 {stats['p50_ms']:.2f} ms, p99 {stats['p99_ms']:.2f} ms{suffix}")
     print(f"  kill/restart: resumed at epoch {payload['restart'].get('resumed_epoch')} "
           f"({'match' if payload['restart'].get('resume_epoch_match') else 'MISMATCH'})")
     exact = (parity.get("epoch_match") and parity.get("sparsifier_weights_match")

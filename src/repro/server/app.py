@@ -2,13 +2,17 @@
 
 Architecture — one event loop, two disciplines:
 
-* **reads never block the writer.**  Every read endpoint pins one
-  :class:`~repro.snapshot.SparsifierSnapshot` at dispatch time (an O(1)
-  handout) and runs the actual query on a worker thread
-  (:func:`asyncio.to_thread`), so a slow PCG solve neither stalls the event
-  loop nor holds any lock the update pipeline contends on.  All fields of a
-  response come from that one snapshot — a reader can never observe a torn
-  epoch, no matter how the writer races.
+* **reads never block the writer — or the loop.**  Every read endpoint runs
+  on a worker thread (:func:`asyncio.to_thread`), pinning one
+  :class:`~repro.snapshot.SparsifierSnapshot` there and answering entirely
+  from it — a reader can never observe a torn epoch, no matter how the
+  writer races.  Pinning happens *off* the event loop because the snapshot
+  handout (like ``write_stats`` / ``retained_versions``) briefly takes the
+  service lock, which the writer holds for the whole duration of a driver
+  update: taking it on the loop would stall every connection — including
+  ``/health`` and the ``/epoch`` polls that 202 answers direct clients to —
+  for as long as one write runs.  Only ``/health`` answers directly on the
+  loop, from lock-free fields, so liveness probes stay cheap under any load.
 
 * **writes funnel through one bounded ingest queue.**  ``POST /update`` /
   ``/remove`` / ``/reweight`` / ``/checkpoint`` enqueue a job onto a single
@@ -330,9 +334,13 @@ class SparsifierHTTPServer:
                 try:
                     result = await asyncio.to_thread(job)
                 except BaseException as exc:
+                    # Always delivered through the future: either the handler
+                    # is still awaiting it, or the abandoned-write callback
+                    # (attached when the 202 timeout fired) consumes and logs
+                    # it — never an unretrieved-exception warning from asyncio.
                     if future is not None and not future.done():
                         future.set_exception(exc)
-                    else:  # pragma: no cover - abandoned job failed
+                    else:  # pragma: no cover - future cancelled externally
                         logger.warning("queued write failed after caller left: %s", exc)
                 else:
                     if future is not None and not future.done():
@@ -450,6 +458,11 @@ class SparsifierHTTPServer:
             result = await asyncio.wait_for(asyncio.shield(future),
                                             timeout=self._config.request_timeout)
         except asyncio.TimeoutError:
+            # The future is still pending (shield) with nobody awaiting it;
+            # attach a consumer so the writer's eventual set_exception is
+            # retrieved and logged instead of dying as asyncio's "exception
+            # was never retrieved" noise.
+            future.add_done_callback(self._abandoned_write_observer(label))
             return 202, {"applied": False, "pending": True, "operation": label,
                          "detail": "write is queued and will apply in order; "
                                    "poll /epoch to observe it"}, None
@@ -462,6 +475,17 @@ class SparsifierHTTPServer:
         result = dict(result)
         result.setdefault("applied", True)
         return 200, result, None
+
+    @staticmethod
+    def _abandoned_write_observer(label: str) -> Callable[["asyncio.Future"], None]:
+        def _observe(future: asyncio.Future) -> None:
+            if future.cancelled():
+                return
+            exc = future.exception()
+            if exc is not None:
+                logger.warning("queued %s write failed after caller stopped "
+                               "waiting (202): %s", label, exc)
+        return _observe
 
     def _snapshot_for(self, request: HttpRequest):
         version = request.query.get("version")
@@ -504,44 +528,57 @@ class SparsifierHTTPServer:
                      "draining": self._draining}, None
 
     async def _handle_epoch(self, request: HttpRequest):
-        return 200, {"version": self._service.latest_version,
-                     "retained_versions": self._service.retained_versions,
-                     "applied_batches": self._service.applied_batches,
-                     "write_stats": self._service.write_stats}, None
+        # retained_versions/write_stats take the service lock — off the loop,
+        # or a long driver update would stall the very endpoint 202 answers
+        # tell clients to poll.
+        def read() -> dict:
+            return {"version": self._service.latest_version,
+                    "retained_versions": self._service.retained_versions,
+                    "applied_batches": self._service.applied_batches,
+                    "write_stats": self._service.write_stats}
+        return await self._run_query(read)
 
     async def _handle_report(self, request: HttpRequest):
-        snap = self._snapshot_for(request)
-        if request.query.get("full") in ("1", "true", "yes"):
-            def full_report() -> dict:
-                report = snap.report()
-                return {"version": snap.version, "report": report.as_dict()}
-            return await self._run_query(full_report)
-        return 200, {"version": snap.version, "snapshot": snap.describe()}, None
+        full = request.query.get("full") in ("1", "true", "yes")
+
+        def read() -> dict:
+            snap = self._snapshot_for(request)
+            if full:
+                return {"version": snap.version, "report": snap.report().as_dict()}
+            return {"version": snap.version, "snapshot": snap.describe()}
+        return await self._run_query(read)
 
     async def _handle_edges(self, request: HttpRequest):
-        snap = self._snapshot_for(request)
         on = request.query.get("on", "sparsifier")
         if on not in ("sparsifier", "graph"):
             raise ProtocolError(400, f"unknown edges target {on!r}")
-        us, vs, ws = snap.sparsifier_arrays() if on == "sparsifier" else snap.graph_arrays()
-        return 200, {"version": snap.version, "on": on,
-                     "num_nodes": snap.num_nodes,
-                     "edges": [[int(u), int(v), float(w)]
-                               for u, v, w in zip(us, vs, ws)]}, None
+
+        def read() -> dict:
+            snap = self._snapshot_for(request)
+            us, vs, ws = (snap.sparsifier_arrays() if on == "sparsifier"
+                          else snap.graph_arrays())
+            return {"version": snap.version, "on": on,
+                    "num_nodes": snap.num_nodes,
+                    "edges": [[int(u), int(v), float(w)]
+                              for u, v, w in zip(us, vs, ws)]}
+        return await self._run_query(read)
 
     async def _handle_metrics(self, request: HttpRequest):
         assert self._queue is not None
-        return 200, self.metrics.snapshot(
-            queue_depth=self._queue.qsize(),
-            queue_bound=self._config.queue_bound,
-            version=self._service.latest_version,
-            applied_batches=self._service.applied_batches,
-            retained_snapshots=len(self._service.retained_versions),
-            write_stats=self._service.write_stats,
-        ), None
+        queue_depth, queue_bound = self._queue.qsize(), self._config.queue_bound
+
+        def read() -> dict:
+            return self.metrics.snapshot(
+                queue_depth=queue_depth,
+                queue_bound=queue_bound,
+                version=self._service.latest_version,
+                applied_batches=self._service.applied_batches,
+                retained_snapshots=len(self._service.retained_versions),
+                write_stats=self._service.write_stats,
+            )
+        return await self._run_query(read)
 
     async def _handle_resistance(self, request: HttpRequest):
-        snap = self._snapshot_for(request)
         payload = request.json()
         on = payload.get("on", "sparsifier")
         if on not in ("sparsifier", "graph"):
@@ -550,12 +587,14 @@ class SparsifierHTTPServer:
             pairs = _event_rows(payload, "pairs", 2, "[u, v]")
 
             def many() -> dict:
+                snap = self._snapshot_for(request)
                 return {"version": snap.version, "on": on,
                         "resistances": snap.effective_resistance_many(pairs, on=on)}
             return await self._run_query(many)
         u, v = _int_field(payload, "u"), _int_field(payload, "v")
 
         def single() -> dict:
+            snap = self._snapshot_for(request)
             try:
                 value = snap.effective_resistance(u, v, on=on)
             except ValueError as exc:
@@ -565,21 +604,21 @@ class SparsifierHTTPServer:
         return await self._run_query(single)
 
     async def _handle_solve(self, request: HttpRequest):
-        import numpy as np
-
-        snap = self._snapshot_for(request)
         payload = request.json()
         b = payload.get("b")
-        if not isinstance(b, list) or len(b) != snap.num_nodes:
-            raise ProtocolError(
-                400, f"field 'b' must be a list of {snap.num_nodes} numbers")
-        try:
-            rhs = np.asarray(b, dtype=np.float64)
-        except (TypeError, ValueError) as exc:
-            raise ProtocolError(400, f"field 'b' is not numeric: {exc}") from exc
         preconditioned = bool(payload.get("preconditioned", True))
 
         def solve() -> dict:
+            import numpy as np
+
+            snap = self._snapshot_for(request)
+            if not isinstance(b, list) or len(b) != snap.num_nodes:
+                raise ProtocolError(
+                    400, f"field 'b' must be a list of {snap.num_nodes} numbers")
+            try:
+                rhs = np.asarray(b, dtype=np.float64)
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError(400, f"field 'b' is not numeric: {exc}") from exc
             report = snap.solve(rhs, preconditioned=preconditioned)
             return {"version": snap.version,
                     "x": report.solution.tolist(),

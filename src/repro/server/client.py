@@ -72,29 +72,42 @@ class SparsifierClient:
 
     def request(self, method: str, path: str,
                 payload: Optional[dict] = None) -> Tuple[int, dict]:
-        """One round trip; returns ``(status, decoded_json)`` without raising."""
+        """One round trip; returns ``(status, decoded_json)`` without raising.
+
+        Retry discipline: a connection error is retried once on a fresh
+        socket **only when the server cannot have acted on the request** —
+        the send itself failed (a stale keep-alive socket refuses before a
+        complete request reaches the server), or the method is idempotent
+        (GET/HEAD).  A timeout or lost response *after* a non-idempotent
+        POST went out is never retried: the server may already have applied
+        the write, and silently re-sending it would double-apply the batch
+        and advance the epoch twice, breaking bit-exact parity.
+        """
         body = json.dumps(payload).encode("utf-8") if payload is not None else None
         headers = {"Content-Type": "application/json"} if body else {}
-        conn = self._connection()
-        try:
-            conn.request(method, path, body=body, headers=headers)
-            response = conn.getresponse()
-            raw = response.read()
-        except (ConnectionError, OSError):
-            # The server may have closed the keep-alive socket (idle timeout,
-            # restart): retry once on a fresh connection.  If the retry fails
-            # too, drop that connection as well — a half-sent HTTPConnection
-            # would otherwise wedge every subsequent call in CannotSendRequest
-            # instead of surfacing a clean, retryable OSError.
-            self.close()
+        idempotent = method.upper() in ("GET", "HEAD")
+        for attempt in (0, 1):
             conn = self._connection()
+            sent = False
             try:
                 conn.request(method, path, body=body, headers=headers)
+                sent = True
                 response = conn.getresponse()
                 raw = response.read()
-            except BaseException:
+                break
+            except (ConnectionError, OSError) as exc:
+                # Always drop the connection — a half-used HTTPConnection
+                # would wedge every subsequent call in CannotSendRequest
+                # instead of surfacing a clean, retryable OSError.
                 self.close()
-                raise
+                # ConnectionError (never its OSError siblings like
+                # socket.timeout) at send time is the stale-keep-alive
+                # signature; anything else, or any failure after the POST
+                # went out, surfaces to the caller to resolve via /epoch.
+                safe_to_resend = idempotent or (
+                    not sent and isinstance(exc, ConnectionError))
+                if attempt or not safe_to_resend:
+                    raise
         if response.getheader("Connection", "").lower() == "close":
             self.close()
         decoded = json.loads(raw.decode("utf-8")) if raw else {}
